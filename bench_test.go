@@ -1,0 +1,126 @@
+// Benchmarks: one per reproduced table/figure (E1-E12, see DESIGN.md
+// §4 and EXPERIMENTS.md). Each benchmark regenerates its experiment
+// and reports the headline quantity as a custom metric, so
+// `go test -bench=.` re-derives the paper's evaluation end to end.
+package lsdf_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/facility"
+	"repro/internal/units"
+)
+
+// run executes one experiment per iteration and fails the benchmark
+// on error.
+func run(b *testing.B, fn func() (*experiments.Table, error)) *experiments.Table {
+	b.Helper()
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// BenchmarkE1IngestHTM regenerates slide 5: ≈2 TB/day of 4 MB
+// microscope frames sustained through the backbone and the real
+// pipeline.
+func BenchmarkE1IngestHTM(b *testing.B) {
+	tbl := run(b, experiments.E1IngestHTM)
+	objs, _ := strconv.Atoi(strings.TrimSuffix(tbl.Rows[0][1], "/day"))
+	b.ReportMetric(float64(objs), "objects/simday")
+}
+
+// BenchmarkE2FacilityFill regenerates slide 7: the 1.9 PB disk tier
+// under the 2011 load with tape migration.
+func BenchmarkE2FacilityFill(b *testing.B) {
+	run(b, experiments.E2FacilityFill)
+}
+
+// BenchmarkE3Metadata regenerates slide 8: 100k-dataset metadata DB
+// with indexed queries.
+func BenchmarkE3Metadata(b *testing.B) {
+	run(b, experiments.E3Metadata)
+}
+
+// BenchmarkE4ADAL regenerates slides 9-10: the unified access layer
+// op mix across backends and through auth.
+func BenchmarkE4ADAL(b *testing.B) {
+	run(b, experiments.E4ADAL)
+}
+
+// BenchmarkE5Transfer regenerates slide 11: days to move 1 PB over
+// 10 GbE under efficiency and contention.
+func BenchmarkE5Transfer(b *testing.B) {
+	tbl := run(b, experiments.E5Transfer)
+	days, _ := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[1][1], " days"), 64)
+	b.ReportMetric(days, "days/PB-realistic")
+}
+
+// BenchmarkE6MapReduceScaling regenerates slide 11: real MapReduce
+// speedup at 1-8 nodes plus the 60-node projection.
+func BenchmarkE6MapReduceScaling(b *testing.B) {
+	run(b, experiments.E6MapReduceScaling)
+}
+
+// BenchmarkE7TagTriggeredWorkflow regenerates slide 12: DataBrowser
+// tagging driving workflow runs with provenance.
+func BenchmarkE7TagTriggeredWorkflow(b *testing.B) {
+	run(b, experiments.E7TagTriggeredWorkflow)
+}
+
+// BenchmarkE8Visualization regenerates slide 13: the MIP job and the
+// 1 TB / 20 min projection.
+func BenchmarkE8Visualization(b *testing.B) {
+	tbl := run(b, experiments.E8Visualization)
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "60-node model") {
+			m, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], " min"), 64)
+			b.ReportMetric(m, "min/TB-60nodes")
+		}
+	}
+}
+
+// BenchmarkE9DNASequencing regenerates slide 13: k-mer spectrum and
+// coverage MapReduce jobs.
+func BenchmarkE9DNASequencing(b *testing.B) {
+	run(b, experiments.E9DNASequencing)
+}
+
+// BenchmarkE10CloudDeploy regenerates slide 11: VM deployment latency
+// under cold/warm caches and placement policies.
+func BenchmarkE10CloudDeploy(b *testing.B) {
+	run(b, experiments.E10CloudDeploy)
+}
+
+// BenchmarkE11Growth regenerates slide 14: the 2011-2014 capacity and
+// ingest plan.
+func BenchmarkE11Growth(b *testing.B) {
+	run(b, experiments.E11Growth)
+}
+
+// BenchmarkE12Rules regenerates slide 14's outlook: policy-driven
+// replication and integrity auditing.
+func BenchmarkE12Rules(b *testing.B) {
+	run(b, experiments.E12Rules)
+}
+
+// BenchmarkTransferArithmetic isolates the fluid-model core of E5 so
+// regressions in the max-min solver are visible without the full
+// experiment harness.
+func BenchmarkTransferArithmetic(b *testing.B) {
+	cases := []facility.TransferCase{
+		{Label: "ideal", Bytes: units.PB, Efficiency: 1.0},
+		{Label: "shared", Bytes: units.PB, Parallel: 8},
+	}
+	for i := 0; i < b.N; i++ {
+		facility.TransferStudy(cases, units.Gbps(10))
+	}
+}

@@ -1,0 +1,124 @@
+// Command databrowser is the end-user DataBrowser (slide 9) over a
+// lsdfctl state directory: list and inspect data joined with its
+// metadata, preview objects, tag datasets — or serve the JSON web API
+// the paper announces as the upcoming web GUI.
+//
+//	databrowser -state /tmp/lsdf list /data
+//	databrowser -state /tmp/lsdf preview /data/img1.raw
+//	databrowser -state /tmp/lsdf tag /data/img1.raw analyze
+//	databrowser -state /tmp/lsdf serve :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adal"
+	"repro/internal/databrowser"
+	"repro/internal/metadata"
+)
+
+func main() {
+	state := flag.String("state", "", "state directory shared with lsdfctl")
+	flag.Parse()
+	if *state == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, `usage: databrowser -state DIR COMMAND [args]
+
+commands:
+  list PREFIX       browse objects joined with metadata
+  preview PATH      print the first 256 bytes of an object
+  tag PATH TAG      tag the dataset at PATH
+  serve ADDR        serve the JSON web API (GET /list, /stat, /dataset, /find; POST /tag)`)
+		os.Exit(2)
+	}
+	if err := run(*state, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "databrowser:", err)
+		os.Exit(1)
+	}
+}
+
+func run(state string, args []string) error {
+	local, err := adal.NewLocalFS("posix", filepath.Join(state, "objects"))
+	if err != nil {
+		return err
+	}
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", local); err != nil {
+		return err
+	}
+	meta := metadata.NewStore()
+	dump := filepath.Join(state, "metadata.json")
+	if f, err := os.Open(dump); err == nil {
+		defer f.Close()
+		if err := meta.Import(f); err != nil {
+			return err
+		}
+	}
+	b := databrowser.New(layer, meta)
+
+	save := func() error {
+		tmp := dump + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if err := meta.Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp, dump)
+	}
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		prefix := "/data"
+		if len(rest) > 0 {
+			prefix = rest[0]
+		}
+		entries, err := b.List(prefix)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			meta := "(unregistered)"
+			if e.Registered {
+				meta = fmt.Sprintf("%s %s [%s]", e.DatasetID, e.Project, strings.Join(e.Tags, ","))
+			}
+			fmt.Printf("%-10s  %-40s  %s\n", e.Size.SI(), e.Path, meta)
+		}
+		return nil
+	case "preview":
+		if len(rest) != 1 {
+			return fmt.Errorf("preview: need PATH")
+		}
+		head, err := b.Preview(rest[0], 256)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", head)
+		return nil
+	case "tag":
+		if len(rest) != 2 {
+			return fmt.Errorf("tag: need PATH TAG")
+		}
+		if err := b.Tag(rest[0], rest[1]); err != nil {
+			return err
+		}
+		return save()
+	case "serve":
+		if len(rest) != 1 {
+			return fmt.Errorf("serve: need ADDR (e.g. :8080)")
+		}
+		fmt.Printf("databrowser web API on %s\n", rest[0])
+		return http.ListenAndServe(rest[0], b.Handler())
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}

@@ -1,0 +1,60 @@
+// Command lsdf-bench regenerates every table and figure of the
+// paper's evaluation content and prints them as paper-vs-measured
+// tables. Run all experiments:
+//
+//	lsdf-bench
+//
+// or a selection:
+//
+//	lsdf-bench -run E1,E5,E8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	registry := experiments.All()
+	if *list {
+		for _, r := range registry {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *runFlag != "" {
+		for _, id := range strings.Split(*runFlag, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	failed := 0
+	for _, r := range registry {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s (%s): %v\n", r.ID, r.Name, err)
+			failed++
+			continue
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("  (regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

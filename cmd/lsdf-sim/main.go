@@ -1,0 +1,109 @@
+// Command lsdf-sim runs the facility-scale discrete-event scenarios:
+// a DAQ day of sustained ingest, the disk-tier fill, the 1 PB
+// transfer study and the multi-year growth plan — months of facility
+// time in milliseconds of wall clock.
+//
+//	lsdf-sim -scenario ingest -days 1
+//	lsdf-sim -scenario fill -days 400
+//	lsdf-sim -scenario transfer
+//	lsdf-sim -scenario growth
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/facility"
+	"repro/internal/units"
+)
+
+func main() {
+	scenario := flag.String("scenario", "ingest", "ingest | fill | transfer | growth")
+	days := flag.Float64("days", 1, "virtual horizon in days (ingest/fill)")
+	rate := flag.String("rate", "2TB", "offered DAQ volume per day (ingest/fill)")
+	flag.Parse()
+
+	perDay, err := units.ParseBytes(*rate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lsdf-sim:", err)
+		os.Exit(2)
+	}
+	if err := run(*scenario, *days, perDay); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdf-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scenario string, days float64, perDay units.Bytes) error {
+	switch scenario {
+	case "ingest":
+		s, err := facility.NewScenario(facility.ScenarioConfig{})
+		if err != nil {
+			return err
+		}
+		stream := &facility.IngestStream{
+			Name: "daq", Src: "daq", Dst: "ddn",
+			Size: 4 * units.MB, Rate: units.PerDay(perDay),
+		}
+		start := time.Now()
+		res := s.RunIngest([]*facility.IngestStream{stream}, units.Days(days))
+		r := res["daq"]
+		fmt.Printf("simulated %.1f day(s) in %v wall time\n", days, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("objects:  %d (4 MB each)\n", r.Objects)
+		fmt.Printf("volume:   %s (%s)\n", r.Bytes.SI(), units.PerDay(r.Bytes/units.Bytes(days)).String())
+		fmt.Printf("rejected: %d\n", r.Rejected)
+		fmt.Printf("DDN used: %s of %s (%.1f%%)\n",
+			s.DDN.Used().SI(), s.DDN.Capacity.SI(), 100*s.DDN.Utilization())
+		return nil
+
+	case "fill":
+		s, err := facility.NewScenario(facility.ScenarioConfig{})
+		if err != nil {
+			return err
+		}
+		streams := []*facility.IngestStream{
+			{Name: "htm", Src: "daq", Dst: "ddn", Size: 4 * units.MB,
+				Rate: units.PerDay(perDay), Batch: 6 * time.Hour},
+			{Name: "others", Src: "daq", Dst: "ibm", Size: 100 * units.MB,
+				Rate: units.PerDay(2 * perDay), Batch: 6 * time.Hour},
+		}
+		res := s.RunIngest(streams, units.Days(days))
+		fmt.Printf("after %.0f days:\n", days)
+		fmt.Printf("  DDN: %s / %s (%.1f%%), rejected %d\n", s.DDN.Used().SI(),
+			s.DDN.Capacity.SI(), 100*s.DDN.Utilization(), res["htm"].Rejected)
+		fmt.Printf("  IBM: %s / %s (%.1f%%), rejected %d\n", s.IBM.Used().SI(),
+			s.IBM.Capacity.SI(), 100*s.IBM.Utilization(), res["others"].Rejected)
+		return nil
+
+	case "transfer":
+		results := facility.TransferStudy([]facility.TransferCase{
+			{Label: "ideal 10 GbE", Bytes: units.PB, Efficiency: 1.0},
+			{Label: "62% sustained efficiency", Bytes: units.PB, Efficiency: 0.62},
+			{Label: "shared with 3 other flows", Bytes: units.PB, Efficiency: 1.0, Parallel: 4},
+		}, units.Gbps(10))
+		fmt.Println("1 PB over 10 GbE (the paper's slide-11 arithmetic):")
+		for _, r := range results {
+			fmt.Printf("  %-28s %6.1f days\n", r.Label, r.Days)
+		}
+		m := facility.LSDFCluster()
+		fmt.Printf("  %-28s %6.1f days\n", "process locally (60 nodes)",
+			m.TimeFor(units.PB, 60).Hours()/24)
+		return nil
+
+	case "growth":
+		points := facility.RunGrowth(facility.LSDFGrowth())
+		fmt.Println("date       installed   stored      ingest       utilization")
+		for i, p := range points {
+			if i%6 != 0 { // print twice a year
+				continue
+			}
+			fmt.Printf("%s  %-10s  %-10s  %5.2f PB/yr  %5.1f%%\n",
+				p.When.Format("2006-01"), p.Installed.SI(), p.Stored.SI(),
+				float64(p.IngestPerYear)/float64(units.PB), 100*p.Utilization)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown scenario %q", scenario)
+}

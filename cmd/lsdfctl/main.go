@@ -1,0 +1,224 @@
+// Command lsdfctl is the facility operations CLI: it manages a
+// persistent LSDF instance rooted in a state directory (a LocalFS
+// backend plus a JSON metadata dump), supporting the operations the
+// paper's users perform: ingest files with checksums and metadata,
+// browse, query and tag.
+//
+//	lsdfctl -state /tmp/lsdf ingest -project zebrafish /data/*.raw
+//	lsdfctl -state /tmp/lsdf ls /data
+//	lsdfctl -state /tmp/lsdf query -project zebrafish -tag raw
+//	lsdfctl -state /tmp/lsdf tag /data/img1.raw analyze
+//	lsdfctl -state /tmp/lsdf stat /data/img1.raw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+)
+
+func main() {
+	state := flag.String("state", "", "state directory (created if missing)")
+	flag.Parse()
+	if *state == "" || flag.NArg() == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := run(*state, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdfctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: lsdfctl -state DIR COMMAND [args]
+
+commands:
+  ingest -project P FILE...   store files under /data with checksums and register them
+  ls PREFIX                   list stored objects joined with metadata
+  stat PATH                   show one object's dataset record
+  tag PATH TAG                tag a dataset
+  untag PATH TAG              remove a tag
+  query [-project P] [-tag T] find datasets
+  export                      dump the metadata DB as JSON to stdout`)
+}
+
+type ctl struct {
+	layer *adal.Layer
+	meta  *metadata.Store
+	path  string // metadata dump location
+}
+
+func open(state string) (*ctl, error) {
+	if err := os.MkdirAll(filepath.Join(state, "objects"), 0o755); err != nil {
+		return nil, err
+	}
+	local, err := adal.NewLocalFS("posix", filepath.Join(state, "objects"))
+	if err != nil {
+		return nil, err
+	}
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", local); err != nil {
+		return nil, err
+	}
+	meta := metadata.NewStore()
+	dump := filepath.Join(state, "metadata.json")
+	if f, err := os.Open(dump); err == nil {
+		defer f.Close()
+		if err := meta.Import(f); err != nil {
+			return nil, fmt.Errorf("loading %s: %w", dump, err)
+		}
+	}
+	return &ctl{layer: layer, meta: meta, path: dump}, nil
+}
+
+func (c *ctl) save() error {
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := c.meta.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+func run(state string, args []string) error {
+	c, err := open(state)
+	if err != nil {
+		return err
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ingest":
+		return c.ingest(rest)
+	case "ls":
+		return c.ls(rest)
+	case "stat":
+		return c.stat(rest)
+	case "tag", "untag":
+		return c.tag(cmd, rest)
+	case "query":
+		return c.query(rest)
+	case "export":
+		return c.meta.Export(os.Stdout)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func (c *ctl) ingest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	project := fs.String("project", "default", "project name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("ingest: no files given")
+	}
+	for _, src := range fs.Args() {
+		f, err := os.Open(src)
+		if err != nil {
+			return err
+		}
+		dst := "/data/" + filepath.Base(src)
+		n, sum, err := c.layer.WriteChecksummed(dst, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("storing %s: %w", src, err)
+		}
+		ds, err := c.meta.Create(*project, dst, n, sum, map[string]string{"source": src})
+		if err != nil {
+			_ = c.layer.Remove(dst)
+			return fmt.Errorf("registering %s: %w", src, err)
+		}
+		if err := c.meta.Tag(ds.ID, "raw"); err != nil {
+			return err
+		}
+		fmt.Printf("%s  %s  %s\n", ds.ID, n.SI(), dst)
+	}
+	return c.save()
+}
+
+func (c *ctl) ls(args []string) error {
+	prefix := "/data"
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	infos, err := c.layer.List(prefix)
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		mark := "-"
+		if ds, ok := c.meta.ByPath(info.Path); ok {
+			mark = ds.ID + " [" + strings.Join(ds.Tags, ",") + "]"
+		}
+		fmt.Printf("%-10s  %-40s  %s\n", info.Size.SI(), info.Path, mark)
+	}
+	return nil
+}
+
+func (c *ctl) stat(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("stat: need PATH")
+	}
+	ds, ok := c.meta.ByPath(args[0])
+	if !ok {
+		return fmt.Errorf("no dataset at %q", args[0])
+	}
+	fmt.Printf("id:       %s\nproject:  %s\npath:     %s\nsize:     %s\nchecksum: %s\ntags:     %s\n",
+		ds.ID, ds.Project, ds.Path, ds.Size.SI(), ds.Checksum, strings.Join(ds.Tags, ","))
+	for _, p := range ds.Processings {
+		fmt.Printf("processing %s: tool=%s results=%v outputs=%v\n", p.ID, p.Tool, p.Results, p.Outputs)
+	}
+	return nil
+}
+
+func (c *ctl) tag(cmd string, args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("%s: need PATH TAG", cmd)
+	}
+	ds, ok := c.meta.ByPath(args[0])
+	if !ok {
+		return fmt.Errorf("no dataset at %q", args[0])
+	}
+	var err error
+	if cmd == "tag" {
+		err = c.meta.Tag(ds.ID, args[1])
+	} else {
+		err = c.meta.Untag(ds.ID, args[1])
+	}
+	if err != nil {
+		return err
+	}
+	return c.save()
+}
+
+func (c *ctl) query(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	project := fs.String("project", "", "filter by project")
+	tag := fs.String("tag", "", "filter by tag (comma-separated = all required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	q := metadata.Query{Project: *project}
+	if *tag != "" {
+		q.Tags = strings.Split(*tag, ",")
+	}
+	for _, ds := range c.meta.Find(q) {
+		fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
+	}
+	return nil
+}

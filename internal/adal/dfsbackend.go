@@ -1,0 +1,85 @@
+package adal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// DFSBackend exposes the Hadoop filesystem through the ADAL contract,
+// which is how the paper's DataBrowser reaches HDFS data without
+// Hadoop-specific client code.
+type DFSBackend struct {
+	name    string
+	cluster *dfs.Cluster
+	// hint names the datanode ADAL traffic is considered to enter
+	// through (the login head nodes in the paper's architecture).
+	hint string
+}
+
+// NewDFSBackend wraps a dfs cluster.
+func NewDFSBackend(name string, cluster *dfs.Cluster, clientHint string) *DFSBackend {
+	return &DFSBackend{name: name, cluster: cluster, hint: clientHint}
+}
+
+// Name implements Backend.
+func (b *DFSBackend) Name() string { return b.name }
+
+// Create implements Backend.
+func (b *DFSBackend) Create(path string) (io.WriteCloser, error) {
+	w, err := b.cluster.Create(path, b.hint)
+	if err != nil {
+		if errors.Is(err, dfs.ErrExists) {
+			return nil, fmt.Errorf("%w: %s:%s", ErrExists, b.name, path)
+		}
+		return nil, err
+	}
+	return w, nil
+}
+
+// Open implements Backend.
+func (b *DFSBackend) Open(path string) (io.ReadCloser, error) {
+	r, err := b.cluster.Open(path, b.hint)
+	if err != nil {
+		if errors.Is(err, dfs.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s:%s", ErrNotFound, b.name, path)
+		}
+		return nil, err
+	}
+	return r, nil
+}
+
+// Stat implements Backend.
+func (b *DFSBackend) Stat(path string) (FileInfo, error) {
+	info, err := b.cluster.Stat(path)
+	if err != nil {
+		if errors.Is(err, dfs.ErrNotFound) {
+			return FileInfo{}, fmt.Errorf("%w: %s:%s", ErrNotFound, b.name, path)
+		}
+		return FileInfo{}, err
+	}
+	return FileInfo{Path: path, Size: info.Size, ModTime: time.Time{}}, nil
+}
+
+// List implements Backend.
+func (b *DFSBackend) List(prefix string) ([]FileInfo, error) {
+	var out []FileInfo
+	for _, info := range b.cluster.List(prefix) {
+		out = append(out, FileInfo{Path: info.Name, Size: info.Size})
+	}
+	return out, nil
+}
+
+// Remove implements Backend.
+func (b *DFSBackend) Remove(path string) error {
+	if err := b.cluster.Delete(path); err != nil {
+		if errors.Is(err, dfs.ErrNotFound) {
+			return fmt.Errorf("%w: %s:%s", ErrNotFound, b.name, path)
+		}
+		return err
+	}
+	return nil
+}

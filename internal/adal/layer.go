@@ -1,0 +1,211 @@
+package adal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// Layer federates backends under one namespace through a mount table
+// with longest-prefix resolution — the "unified access layer" of
+// slide 9. A path like /hdfs/exp/run1 resolves to the backend mounted
+// at /hdfs with backend-relative path /exp/run1.
+type Layer struct {
+	mu     sync.RWMutex
+	mounts []mount // sorted by descending prefix length
+}
+
+type mount struct {
+	prefix  string
+	backend Backend
+}
+
+// NewLayer creates an empty federation.
+func NewLayer() *Layer { return &Layer{} }
+
+// Mount attaches a backend at prefix (e.g. "/gpfs"). Prefixes must be
+// absolute, must not collide exactly, and nest by longest match.
+func (l *Layer) Mount(prefix string, b Backend) error {
+	if !strings.HasPrefix(prefix, "/") {
+		return fmt.Errorf("adal: mount prefix %q must be absolute", prefix)
+	}
+	prefix = strings.TrimRight(prefix, "/")
+	if prefix == "" {
+		prefix = "/"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, m := range l.mounts {
+		if m.prefix == prefix {
+			return fmt.Errorf("adal: prefix %q already mounted (%s)", prefix, m.backend.Name())
+		}
+	}
+	l.mounts = append(l.mounts, mount{prefix: prefix, backend: b})
+	sort.Slice(l.mounts, func(i, j int) bool {
+		return len(l.mounts[i].prefix) > len(l.mounts[j].prefix)
+	})
+	return nil
+}
+
+// Mounts lists mount prefixes, longest first.
+func (l *Layer) Mounts() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, len(l.mounts))
+	for i, m := range l.mounts {
+		out[i] = m.prefix
+	}
+	return out
+}
+
+// Resolve maps a federated path to (backend, backend-relative path).
+func (l *Layer) Resolve(path string) (Backend, string, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	for _, m := range l.mounts {
+		if m.prefix == "/" {
+			return m.backend, path, nil
+		}
+		if path == m.prefix || strings.HasPrefix(path, m.prefix+"/") {
+			rel := strings.TrimPrefix(path, m.prefix)
+			if rel == "" {
+				rel = "/"
+			}
+			return m.backend, rel, nil
+		}
+	}
+	return nil, "", fmt.Errorf("%w: %q", ErrNoMount, path)
+}
+
+// Create opens a new object for writing at the federated path.
+func (l *Layer) Create(path string) (io.WriteCloser, error) {
+	b, rel, err := l.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return b.Create(rel)
+}
+
+// Open reads an object at the federated path.
+func (l *Layer) Open(path string) (io.ReadCloser, error) {
+	b, rel, err := l.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	return b.Open(rel)
+}
+
+// Stat describes an object; the returned Path is the federated one.
+func (l *Layer) Stat(path string) (FileInfo, error) {
+	b, rel, err := l.Resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info, err := b.Stat(rel)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info.Path = path
+	return info, nil
+}
+
+// List enumerates objects under a federated prefix. The prefix must
+// resolve to a single mount; cross-mount listing goes through Mounts.
+func (l *Layer) List(prefix string) ([]FileInfo, error) {
+	b, rel, err := l.Resolve(prefix)
+	if err != nil {
+		return nil, err
+	}
+	infos, err := b.List(rel)
+	if err != nil {
+		return nil, err
+	}
+	mountPrefix := strings.TrimSuffix(prefix, rel)
+	for i := range infos {
+		infos[i].Path = mountPrefix + infos[i].Path
+	}
+	return infos, nil
+}
+
+// Remove deletes an object at the federated path.
+func (l *Layer) Remove(path string) error {
+	b, rel, err := l.Resolve(path)
+	if err != nil {
+		return err
+	}
+	return b.Remove(rel)
+}
+
+// WriteChecksummed streams r into path, returning the byte count and
+// hex SHA-256 — the ingest pipeline's canonical write primitive.
+func (l *Layer) WriteChecksummed(path string, r io.Reader) (units.Bytes, string, error) {
+	w, err := l.Create(path)
+	if err != nil {
+		return 0, "", err
+	}
+	h := sha256.New()
+	n, err := io.Copy(io.MultiWriter(w, h), r)
+	if err != nil {
+		w.Close()
+		return 0, "", fmt.Errorf("adal: writing %s: %w", path, err)
+	}
+	if err := w.Close(); err != nil {
+		return 0, "", err
+	}
+	return units.Bytes(n), hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Checksum reads an object and returns its hex SHA-256, used by the
+// rule engine's integrity audits.
+func (l *Layer) Checksum(path string) (string, error) {
+	r, err := l.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer r.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, r); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// CopyObject copies one object across mounts (replication action).
+func (l *Layer) CopyObject(src, dst string) error {
+	r, err := l.Open(src)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	w, err := l.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(w, r); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ParseURI splits "lsdf://host/path" into its host and federated
+// path. The paper exposes LSDF through open protocols; this is the
+// address form used by the DataBrowser and CLI tools.
+func ParseURI(uri string) (host, path string, err error) {
+	const scheme = "lsdf://"
+	if !strings.HasPrefix(uri, scheme) {
+		return "", "", fmt.Errorf("adal: URI %q lacks lsdf:// scheme", uri)
+	}
+	rest := strings.TrimPrefix(uri, scheme)
+	host, path, ok := strings.Cut(rest, "/")
+	if !ok || host == "" {
+		return "", "", fmt.Errorf("adal: URI %q lacks host or path", uri)
+	}
+	return host, "/" + path, nil
+}

@@ -1,0 +1,160 @@
+package adal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// LocalFS is a backend rooted in a directory of the local filesystem,
+// standing in for the facility's POSIX-mounted storage (GPFS in the
+// paper). All paths are confined to the root.
+type LocalFS struct {
+	name string
+	root string
+}
+
+// NewLocalFS creates a backend over root, which must exist.
+func NewLocalFS(name, root string) (*LocalFS, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, fmt.Errorf("adal: localfs root: %w", err)
+	}
+	info, err := os.Stat(abs)
+	if err != nil {
+		return nil, fmt.Errorf("adal: localfs root: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("adal: localfs root %q is not a directory", root)
+	}
+	return &LocalFS{name: name, root: abs}, nil
+}
+
+// Name implements Backend.
+func (l *LocalFS) Name() string { return l.name }
+
+// resolve maps an ADAL path to a real path inside the root, rejecting
+// traversal escapes.
+func (l *LocalFS) resolve(path string) (string, error) {
+	clean := filepath.Clean("/" + strings.TrimPrefix(path, "/"))
+	full := filepath.Join(l.root, clean)
+	if full != l.root && !strings.HasPrefix(full, l.root+string(filepath.Separator)) {
+		return "", fmt.Errorf("%w: path escapes root: %q", ErrDenied, path)
+	}
+	return full, nil
+}
+
+// Create implements Backend.
+func (l *LocalFS) Create(path string) (io.WriteCloser, error) {
+	full, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(full); err == nil {
+		return nil, fmt.Errorf("%w: %s:%s", ErrExists, l.name, path)
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return nil, fmt.Errorf("adal: localfs mkdir: %w", err)
+	}
+	f, err := os.OpenFile(full, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("adal: localfs create: %w", err)
+	}
+	return f, nil
+}
+
+// Open implements Backend.
+func (l *LocalFS) Open(path string) (io.ReadCloser, error) {
+	full, err := l.resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(full)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s:%s", ErrNotFound, l.name, path)
+		}
+		return nil, fmt.Errorf("adal: localfs open: %w", err)
+	}
+	return f, nil
+}
+
+// Stat implements Backend.
+func (l *LocalFS) Stat(path string) (FileInfo, error) {
+	full, err := l.resolve(path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	info, err := os.Stat(full)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return FileInfo{}, fmt.Errorf("%w: %s:%s", ErrNotFound, l.name, path)
+		}
+		return FileInfo{}, fmt.Errorf("adal: localfs stat: %w", err)
+	}
+	return FileInfo{
+		Path:    path,
+		Size:    units.Bytes(info.Size()),
+		ModTime: info.ModTime(),
+		IsDir:   info.IsDir(),
+	}, nil
+}
+
+// List implements Backend: a recursive walk filtered by prefix,
+// returning files only.
+func (l *LocalFS) List(prefix string) ([]FileInfo, error) {
+	var out []FileInfo
+	err := filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		rel, err := filepath.Rel(l.root, p)
+		if err != nil {
+			return err
+		}
+		logical := "/" + filepath.ToSlash(rel)
+		if !strings.HasPrefix(logical, prefix) {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		out = append(out, FileInfo{
+			Path:    logical,
+			Size:    units.Bytes(info.Size()),
+			ModTime: info.ModTime(),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adal: localfs list: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Remove implements Backend.
+func (l *LocalFS) Remove(path string) error {
+	full, err := l.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(full); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %s:%s", ErrNotFound, l.name, path)
+		}
+		return fmt.Errorf("adal: localfs remove: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,318 @@
+// Package cloud models the LSDF OpenNebula cloud (slide 11: "users
+// can deploy own dedicated data-processing VMs ... reliable, highly
+// flexible, and very fast to deploy"). The model captures what makes
+// deployment fast or slow in practice: scheduler placement against
+// host CPU/memory capacity, image staging through a shared image
+// repository (with per-host image caching), and guest boot time.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+// State is a VM lifecycle state, following OpenNebula's names.
+type State int
+
+// VM lifecycle. Pending VMs wait for capacity; Prolog stages the
+// image; Booting waits out guest boot; Running VMs serve until
+// Shutdown; Done and Failed are terminal.
+const (
+	Pending State = iota
+	Prolog
+	Booting
+	Running
+	Done
+	Failed
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Prolog:
+		return "prolog"
+	case Booting:
+		return "booting"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Template describes a VM class, as an OpenNebula template does.
+type Template struct {
+	Name      string
+	CPUs      int
+	MemMB     int
+	Image     string      // image identity for caching
+	ImageSize units.Bytes // bytes staged on a cache miss
+	BootTime  time.Duration
+}
+
+// VM is one virtual machine instance.
+type VM struct {
+	ID       int
+	Template Template
+	Host     *Host // nil while pending
+	State    State
+
+	Submitted time.Duration
+	RunningAt time.Duration
+	onRunning func(*VM)
+}
+
+// DeployLatency returns submit-to-running time (0 if never ran).
+func (v *VM) DeployLatency() time.Duration {
+	if v.RunningAt < v.Submitted {
+		return 0
+	}
+	return v.RunningAt - v.Submitted
+}
+
+// Host is one hypervisor.
+type Host struct {
+	ID    string
+	CPUs  int
+	MemMB int
+
+	usedCPU int
+	usedMem int
+	cache   map[string]bool // staged images
+	running int
+}
+
+// FreeCPUs returns unreserved cores.
+func (h *Host) FreeCPUs() int { return h.CPUs - h.usedCPU }
+
+// FreeMemMB returns unreserved memory.
+func (h *Host) FreeMemMB() int { return h.MemMB - h.usedMem }
+
+// RunningVMs returns the number of VMs placed on the host.
+func (h *Host) RunningVMs() int { return h.running }
+
+func (h *Host) fits(t Template) bool {
+	return h.usedCPU+t.CPUs <= h.CPUs && h.usedMem+t.MemMB <= h.MemMB
+}
+
+// Policy ranks candidate hosts for a placement, mirroring
+// OpenNebula's scheduler policies.
+type Policy int
+
+// Placement policies.
+const (
+	// FirstFit takes the first host with capacity, in registration order.
+	FirstFit Policy = iota
+	// Pack prefers the most-loaded host with capacity, minimizing the
+	// number of hosts in use (OpenNebula's packing policy).
+	Pack
+	// Spread prefers the least-loaded host (OpenNebula's striping),
+	// maximizing per-VM headroom.
+	Spread
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case Pack:
+		return "pack"
+	case Spread:
+		return "spread"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ErrNoCapacity is reported when a VM can never fit on any host.
+var ErrNoCapacity = errors.New("cloud: template exceeds every host")
+
+// Cloud is the controller: hosts, scheduler and image repository.
+type Cloud struct {
+	eng    *sim.Engine
+	policy Policy
+	hosts  []*Host
+	vms    []*VM
+	queue  []*VM
+
+	// imageStore models the shared image repository's bandwidth;
+	// concurrent stagings share it processor-style, which is exactly
+	// the "mass deployment is slower" effect seen in real clouds.
+	imageStore *storage.Array
+
+	deploys sim.Sample
+}
+
+// New creates a cloud with the given placement policy and image
+// repository streaming bandwidth.
+func New(eng *sim.Engine, policy Policy, imageBandwidth units.Rate) *Cloud {
+	return &Cloud{
+		eng:        eng,
+		policy:     policy,
+		imageStore: storage.NewArray(eng, "image-repo", units.PB, imageBandwidth),
+	}
+}
+
+// AddHost registers a hypervisor.
+func (c *Cloud) AddHost(id string, cpus, memMB int) *Host {
+	h := &Host{ID: id, CPUs: cpus, MemMB: memMB, cache: make(map[string]bool)}
+	c.hosts = append(c.hosts, h)
+	return h
+}
+
+// Hosts returns all hosts in registration order.
+func (c *Cloud) Hosts() []*Host { return c.hosts }
+
+// Submit requests one VM; onRunning fires when it reaches Running.
+// VMs that cannot be placed yet queue FIFO. A template too large for
+// every host fails immediately.
+func (c *Cloud) Submit(t Template, onRunning func(*VM)) (*VM, error) {
+	fitsSomewhere := false
+	for _, h := range c.hosts {
+		if t.CPUs <= h.CPUs && t.MemMB <= h.MemMB {
+			fitsSomewhere = true
+			break
+		}
+	}
+	if !fitsSomewhere {
+		return nil, fmt.Errorf("%w: %s (%d cpu, %d MB)", ErrNoCapacity, t.Name, t.CPUs, t.MemMB)
+	}
+	vm := &VM{
+		ID:        len(c.vms),
+		Template:  t,
+		State:     Pending,
+		Submitted: c.eng.Now(),
+		onRunning: onRunning,
+	}
+	c.vms = append(c.vms, vm)
+	c.queue = append(c.queue, vm)
+	c.schedule()
+	return vm, nil
+}
+
+// schedule places as many queued VMs as capacity allows.
+func (c *Cloud) schedule() {
+	remaining := c.queue[:0]
+	for _, vm := range c.queue {
+		h := c.place(vm.Template)
+		if h == nil {
+			remaining = append(remaining, vm)
+			continue
+		}
+		c.deploy(vm, h)
+	}
+	c.queue = remaining
+}
+
+// place picks a host per the policy, nil when nothing fits now.
+func (c *Cloud) place(t Template) *Host {
+	var best *Host
+	for _, h := range c.hosts {
+		if !h.fits(t) {
+			continue
+		}
+		switch c.policy {
+		case FirstFit:
+			return h
+		case Pack:
+			if best == nil || h.usedCPU > best.usedCPU {
+				best = h
+			}
+		case Spread:
+			if best == nil || h.usedCPU < best.usedCPU {
+				best = h
+			}
+		}
+	}
+	return best
+}
+
+// deploy runs prolog (image staging) then boot in virtual time.
+func (c *Cloud) deploy(vm *VM, h *Host) {
+	vm.Host = h
+	h.usedCPU += vm.Template.CPUs
+	h.usedMem += vm.Template.MemMB
+	h.running++
+	vm.State = Prolog
+
+	boot := func() {
+		vm.State = Booting
+		c.eng.Schedule(vm.Template.BootTime, func() {
+			vm.State = Running
+			vm.RunningAt = c.eng.Now()
+			c.deploys.ObserveDuration(vm.DeployLatency())
+			if vm.onRunning != nil {
+				vm.onRunning(vm)
+			}
+		})
+	}
+	if h.cache[vm.Template.Image] {
+		boot() // cached image: no staging
+		return
+	}
+	c.imageStore.Read(vm.Template.ImageSize, func() {
+		h.cache[vm.Template.Image] = true
+		boot()
+	})
+}
+
+// Shutdown terminates a running or booting VM, releasing capacity and
+// re-scheduling the pending queue.
+func (c *Cloud) Shutdown(vm *VM) error {
+	switch vm.State {
+	case Running, Booting, Prolog:
+	default:
+		return fmt.Errorf("cloud: cannot shut down VM %d in state %s", vm.ID, vm.State)
+	}
+	h := vm.Host
+	h.usedCPU -= vm.Template.CPUs
+	h.usedMem -= vm.Template.MemMB
+	h.running--
+	vm.State = Done
+	vm.Host = nil
+	c.schedule()
+	return nil
+}
+
+// Stats summarizes deployments.
+type Stats struct {
+	Submitted    int
+	Running      int
+	Pending      int
+	AvgDeploySec float64
+	P95DeploySec float64
+	MaxDeploySec float64
+	HostsInUse   int
+}
+
+// Stats returns a snapshot.
+func (c *Cloud) Stats() Stats {
+	s := Stats{
+		Submitted:    len(c.vms),
+		Pending:      len(c.queue),
+		AvgDeploySec: c.deploys.Mean(),
+		P95DeploySec: c.deploys.Quantile(0.95),
+		MaxDeploySec: c.deploys.Max(),
+	}
+	for _, vm := range c.vms {
+		if vm.State == Running {
+			s.Running++
+		}
+	}
+	for _, h := range c.hosts {
+		if h.running > 0 {
+			s.HostsInUse++
+		}
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package cloud
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Property: host capacity is never exceeded, no matter the submission
+// pattern or policy, and every VM that fits eventually runs.
+func TestCapacityInvariantQuick(t *testing.T) {
+	f := func(sizes []uint8, policy8 uint8) bool {
+		policy := Policy(int(policy8) % 3)
+		eng := sim.New(5)
+		c := New(eng, policy, units.Rate(units.GB))
+		for i := 0; i < 3; i++ {
+			c.AddHost(hostName(i), 8, 16384)
+		}
+		expectRunning := 0
+		for _, s := range sizes {
+			tm := Template{
+				Name: "t", CPUs: int(s%4) + 1, MemMB: (int(s%4) + 1) * 1024,
+				Image: "img", ImageSize: units.GB, BootTime: 10 * time.Second,
+			}
+			if _, err := c.Submit(tm, nil); err == nil {
+				expectRunning++
+			}
+		}
+		eng.Run()
+		for _, h := range c.Hosts() {
+			if h.FreeCPUs() < 0 || h.FreeMemMB() < 0 {
+				return false
+			}
+		}
+		st := c.Stats()
+		return st.Running+st.Pending == expectRunning
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: draining all VMs returns every host to its full capacity.
+func TestDrainRestoresCapacityQuick(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8 % 12)
+		eng := sim.New(6)
+		c := New(eng, Spread, units.Rate(units.GB))
+		for i := 0; i < 4; i++ {
+			c.AddHost(hostName(i), 8, 16384)
+		}
+		var vms []*VM
+		for i := 0; i < n; i++ {
+			vm, err := c.Submit(Template{
+				Name: "t", CPUs: 2, MemMB: 2048, Image: "img",
+				ImageSize: units.GB, BootTime: time.Second,
+			}, nil)
+			if err != nil {
+				return false
+			}
+			vms = append(vms, vm)
+		}
+		eng.Run()
+		for _, vm := range vms {
+			if vm.State == Running || vm.State == Booting || vm.State == Prolog {
+				if err := c.Shutdown(vm); err != nil {
+					return false
+				}
+			}
+		}
+		eng.Run()
+		for _, h := range c.Hosts() {
+			if h.FreeCPUs() != 8 || h.FreeMemMB() != 16384 || h.RunningVMs() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func tmpl() Template {
+	return Template{
+		Name: "analysis", CPUs: 2, MemMB: 4096,
+		Image: "sl5-analysis", ImageSize: 4 * units.GB,
+		BootTime: 30 * time.Second,
+	}
+}
+
+func newCloud(t *testing.T, policy Policy, hosts int) (*sim.Engine, *Cloud) {
+	t.Helper()
+	eng := sim.New(1)
+	c := New(eng, policy, units.Rate(units.GB)) // 1 GB/s image repo
+	for i := 0; i < hosts; i++ {
+		c.AddHost(hostName(i), 8, 16384)
+	}
+	return eng, c
+}
+
+func hostName(i int) string { return string(rune('h')) + string(rune('0'+i)) }
+
+func TestSingleDeployTiming(t *testing.T) {
+	eng, c := newCloud(t, FirstFit, 2)
+	var vm *VM
+	_, err := c.Submit(tmpl(), func(v *VM) { vm = v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if vm == nil {
+		t.Fatal("VM never ran")
+	}
+	// 4 GB at 1 GB/s + 30 s boot = 34 s: "very fast to deploy".
+	want := 34.0
+	if got := vm.DeployLatency().Seconds(); math.Abs(got-want) > 0.1 {
+		t.Fatalf("deploy latency = %.1fs, want %.1fs", got, want)
+	}
+}
+
+func TestImageCacheSkipsStaging(t *testing.T) {
+	eng, c := newCloud(t, FirstFit, 1)
+	var first, second *VM
+	if _, err := c.Submit(tmpl(), func(v *VM) { first = v }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if _, err := c.Submit(tmpl(), func(v *VM) { second = v }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if first == nil || second == nil {
+		t.Fatal("VMs did not run")
+	}
+	if got := second.DeployLatency().Seconds(); math.Abs(got-30) > 0.1 {
+		t.Fatalf("cached deploy = %.1fs, want 30s (boot only)", got)
+	}
+}
+
+func TestMassDeploymentSharesImageStore(t *testing.T) {
+	eng, c := newCloud(t, Spread, 4)
+	count := 0
+	for i := 0; i < 4; i++ {
+		if _, err := c.Submit(tmpl(), func(*VM) { count++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if count != 4 {
+		t.Fatalf("running = %d", count)
+	}
+	st := c.Stats()
+	// 4 concurrent 4 GB stagings share 1 GB/s: each takes 16 s + 30 s boot.
+	if math.Abs(st.MaxDeploySec-46) > 0.5 {
+		t.Fatalf("max deploy = %.1fs, want ~46s under contention", st.MaxDeploySec)
+	}
+}
+
+func TestQueueingWhenFull(t *testing.T) {
+	eng, c := newCloud(t, FirstFit, 1) // 8 CPUs => 4 VMs of 2 CPUs
+	running := 0
+	for i := 0; i < 5; i++ {
+		if _, err := c.Submit(tmpl(), func(*VM) { running++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	if running != 4 {
+		t.Fatalf("running = %d, want 4 (host full)", running)
+	}
+	st := c.Stats()
+	if st.Pending != 1 {
+		t.Fatalf("pending = %d, want 1", st.Pending)
+	}
+	// Shutting one down lets the queued VM in.
+	var victim *VM
+	for _, vm := range c.vms {
+		if vm.State == Running {
+			victim = vm
+			break
+		}
+	}
+	if err := c.Shutdown(victim); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if running != 5 {
+		t.Fatalf("running after shutdown = %d, want 5", running)
+	}
+	if c.Stats().Pending != 0 {
+		t.Fatal("queue should drain")
+	}
+}
+
+func TestPackVsSpread(t *testing.T) {
+	runPolicy := func(p Policy) int {
+		eng, c := newCloud(t, p, 4)
+		for i := 0; i < 4; i++ {
+			if _, err := c.Submit(tmpl(), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng.Run()
+		return c.Stats().HostsInUse
+	}
+	if hosts := runPolicy(Pack); hosts != 1 {
+		t.Fatalf("pack used %d hosts, want 1", hosts)
+	}
+	if hosts := runPolicy(Spread); hosts != 4 {
+		t.Fatalf("spread used %d hosts, want 4", hosts)
+	}
+}
+
+func TestTooLargeTemplate(t *testing.T) {
+	_, c := newCloud(t, FirstFit, 2)
+	big := tmpl()
+	big.CPUs = 64
+	if _, err := c.Submit(big, nil); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestShutdownStates(t *testing.T) {
+	eng, c := newCloud(t, FirstFit, 1)
+	vm, err := c.Submit(tmpl(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if err := c.Shutdown(vm); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Shutdown(vm); err == nil {
+		t.Fatal("double shutdown accepted")
+	}
+	if vm.State != Done {
+		t.Fatalf("state = %v", vm.State)
+	}
+	h := c.Hosts()[0]
+	if h.FreeCPUs() != 8 || h.FreeMemMB() != 16384 || h.RunningVMs() != 0 {
+		t.Fatalf("host not released: %+v", h)
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng, c := newCloud(t, Spread, 2)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit(tmpl(), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Run()
+	st := c.Stats()
+	if st.Submitted != 3 || st.Running != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.AvgDeploySec <= 0 || st.P95DeploySec < st.AvgDeploySec {
+		t.Fatalf("latency stats inconsistent: %+v", st)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/mapreduce"
+	"repro/internal/metadata"
+	"repro/internal/rules"
+	"repro/internal/units"
+	"repro/internal/workflow"
+	"repro/internal/workloads"
+)
+
+func TestStoreQueryTagLifecycle(t *testing.T) {
+	fc, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	ds, err := fc.Store("zebrafish", "/ddn/itg/img1.raw",
+		strings.NewReader("pixels"), map[string]string{"well": "A1"}, "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Checksum == "" || !ds.HasTag("raw") {
+		t.Fatalf("dataset = %+v", ds)
+	}
+	r, err := fc.Open("/ddn/itg/img1.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "pixels" {
+		t.Fatalf("read = %q", data)
+	}
+	got := fc.Query(metadata.Query{Project: "zebrafish", Tags: []string{"raw"}})
+	if len(got) != 1 || got[0].ID != ds.ID {
+		t.Fatalf("query = %+v", got)
+	}
+}
+
+func TestStoreDuplicateCleansUp(t *testing.T) {
+	fc, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if _, err := fc.Store("p", "/ddn/x", strings.NewReader("1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Store("p", "/ddn/x", strings.NewReader("2"), nil); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestTriggerAndRuleViaFacade(t *testing.T) {
+	fc, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	wf := workflow.New("count")
+	wf.MustAddNode("n", workflow.ActorFunc(func(ctx *workflow.Context, in workflow.Values) (workflow.Values, error) {
+		return workflow.Values{"seen": "yes"}, nil
+	}))
+	fc.AddTrigger(workflow.Trigger{Tag: "go", Workflow: wf})
+	fc.AddRule(rules.Rule{
+		Name: "replicate", Event: rules.OnCreate,
+		Actions: []rules.Action{rules.Replicate("/archive")},
+	})
+
+	ds, err := fc.Store("p", "/ddn/obj", strings.NewReader("data"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Layer().Stat("/archive/ddn/obj"); err != nil {
+		t.Fatalf("rule did not replicate: %v", err)
+	}
+	if err := fc.Tag("/ddn/obj", "go"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fc.Metadata().Get(ds.ID)
+	if len(got.Processings) != 1 || got.Processings[0].Results["seen"] != "yes" {
+		t.Fatalf("provenance = %+v", got.Processings)
+	}
+}
+
+func TestIngestAndMapReduceViaFacade(t *testing.T) {
+	fc, err := New(Options{DFSBlockSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	cfg := workloads.DefaultMicroscopy()
+	cfg.Plates = 1
+	cfg.WellsPerPlate = 2
+	cfg.ImagesPerFish = 2
+	cfg.ImageSize = 256
+	cfg.Channels = []string{"488nm"}
+	stats, err := fc.Ingest(context.Background(), workloads.NewMicroscopy(cfg), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(stats.Objects) != cfg.TotalImages() {
+		t.Fatalf("objects = %d", stats.Objects)
+	}
+
+	// MR job over a corpus placed on the cluster.
+	var corpus strings.Builder
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&corpus, "fish embryo %d\n", i)
+	}
+	w, err := fc.Layer().Create("/hdfs/corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, corpus.String())
+	w.Close()
+	res, err := fc.RunJob(mapreduce.Config{
+		Inputs: []string{"/corpus"}, OutputDir: "/out",
+		Mapper: mapreduce.MapperFunc(func(_ string, v []byte, emit mapreduce.Emit) error {
+			for _, word := range strings.Fields(string(v)) {
+				emit(word, []byte("1"))
+			}
+			return nil
+		}),
+		Reducer: workloads.SumReducer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := mapreduce.ReadTextOutput(fc.Cluster(), res.OutputFiles)
+	if out["fish"][0] != "50" {
+		t.Fatalf("wordcount = %v", out)
+	}
+	rep := fc.ClusterReport()
+	if rep.Files == 0 || rep.Used == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	_ = units.Bytes(0)
+}

@@ -1,0 +1,205 @@
+// Package databrowser is the end-user tool of slide 9: "graphical
+// tool for exploring and managing the LSDF data, based on ADAL-API,
+// connects to the meta-data repository, will be available as web
+// GUI". This implementation provides the browsing/tagging/triggering
+// API, a CLI front end (cmd/databrowser) and a minimal JSON web
+// endpoint standing in for the announced web GUI.
+package databrowser
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+// Entry is one browse row: storage view joined with metadata view.
+type Entry struct {
+	Path       string      `json:"path"`
+	Size       units.Bytes `json:"size"`
+	Registered bool        `json:"registered"`
+	DatasetID  string      `json:"dataset_id,omitempty"`
+	Project    string      `json:"project,omitempty"`
+	Tags       []string    `json:"tags,omitempty"`
+}
+
+// Browser joins the ADAL layer with the metadata repository.
+type Browser struct {
+	layer *adal.Layer
+	meta  *metadata.Store
+}
+
+// New creates a browser.
+func New(layer *adal.Layer, meta *metadata.Store) *Browser {
+	return &Browser{layer: layer, meta: meta}
+}
+
+// List browses a federated prefix, joining each object with its
+// metadata record when one exists.
+func (b *Browser) List(prefix string) ([]Entry, error) {
+	infos, err := b.layer.List(prefix)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(infos))
+	for _, info := range infos {
+		e := Entry{Path: info.Path, Size: info.Size}
+		if ds, ok := b.meta.ByPath(info.Path); ok {
+			e.Registered = true
+			e.DatasetID = ds.ID
+			e.Project = ds.Project
+			e.Tags = ds.Tags
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Stat returns the entry for one path.
+func (b *Browser) Stat(path string) (Entry, error) {
+	info, err := b.layer.Stat(path)
+	if err != nil {
+		return Entry{}, err
+	}
+	e := Entry{Path: info.Path, Size: info.Size}
+	if ds, ok := b.meta.ByPath(path); ok {
+		e.Registered = true
+		e.DatasetID = ds.ID
+		e.Project = ds.Project
+		e.Tags = ds.Tags
+	}
+	return e, nil
+}
+
+// Dataset returns the full metadata record for a path.
+func (b *Browser) Dataset(path string) (metadata.Dataset, error) {
+	ds, ok := b.meta.ByPath(path)
+	if !ok {
+		return metadata.Dataset{}, fmt.Errorf("%w: %q", metadata.ErrNotFound, path)
+	}
+	return ds, nil
+}
+
+// Tag tags the dataset registered at path. Tagging is the browser's
+// workflow-trigger mechanism (slide 12).
+func (b *Browser) Tag(path, tag string) error {
+	ds, ok := b.meta.ByPath(path)
+	if !ok {
+		return fmt.Errorf("%w: %q", metadata.ErrNotFound, path)
+	}
+	return b.meta.Tag(ds.ID, tag)
+}
+
+// Untag removes a tag from the dataset at path.
+func (b *Browser) Untag(path, tag string) error {
+	ds, ok := b.meta.ByPath(path)
+	if !ok {
+		return fmt.Errorf("%w: %q", metadata.ErrNotFound, path)
+	}
+	return b.meta.Untag(ds.ID, tag)
+}
+
+// Preview returns the first n bytes of an object.
+func (b *Browser) Preview(path string, n int) ([]byte, error) {
+	r, err := b.layer.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	buf := make([]byte, n)
+	read, err := io.ReadFull(r, buf)
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) && err != io.EOF {
+		return nil, err
+	}
+	return buf[:read], nil
+}
+
+// Find proxies metadata queries for browser clients.
+func (b *Browser) Find(q metadata.Query) []metadata.Dataset {
+	return b.meta.Find(q)
+}
+
+// Handler returns the JSON web API (the "web GUI" stand-in):
+//
+//	GET  /list?prefix=/ddn          -> []Entry
+//	GET  /stat?path=/ddn/x          -> Entry
+//	GET  /dataset?path=/ddn/x       -> metadata.Dataset
+//	GET  /find?project=p&tag=t      -> []metadata.Dataset
+//	POST /tag?path=/ddn/x&tag=hot   -> 204
+//	POST /untag?path=/ddn/x&tag=hot -> 204
+func (b *Browser) Handler() http.Handler {
+	mux := http.NewServeMux()
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(v); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+	fail := func(w http.ResponseWriter, err error) {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, metadata.ErrNotFound), errors.Is(err, adal.ErrNotFound):
+			code = http.StatusNotFound
+		case errors.Is(err, adal.ErrNoMount):
+			code = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), code)
+	}
+	mux.HandleFunc("GET /list", func(w http.ResponseWriter, r *http.Request) {
+		entries, err := b.List(r.URL.Query().Get("prefix"))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("GET /stat", func(w http.ResponseWriter, r *http.Request) {
+		e, err := b.Stat(r.URL.Query().Get("path"))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, e)
+	})
+	mux.HandleFunc("GET /dataset", func(w http.ResponseWriter, r *http.Request) {
+		ds, err := b.Dataset(r.URL.Query().Get("path"))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, ds)
+	})
+	mux.HandleFunc("GET /find", func(w http.ResponseWriter, r *http.Request) {
+		q := metadata.Query{
+			Project:    r.URL.Query().Get("project"),
+			PathPrefix: r.URL.Query().Get("prefix"),
+		}
+		if tag := r.URL.Query().Get("tag"); tag != "" {
+			q.Tags = strings.Split(tag, ",")
+		}
+		writeJSON(w, b.Find(q))
+	})
+	mux.HandleFunc("POST /tag", func(w http.ResponseWriter, r *http.Request) {
+		if err := b.Tag(r.URL.Query().Get("path"), r.URL.Query().Get("tag")); err != nil {
+			fail(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /untag", func(w http.ResponseWriter, r *http.Request) {
+		if err := b.Untag(r.URL.Query().Get("path"), r.URL.Query().Get("tag")); err != nil {
+			fail(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

@@ -1,0 +1,98 @@
+package dfs
+
+import "sort"
+
+// Balance moves block replicas from over-full to under-full datanodes
+// until every node's utilization is within threshold of the cluster
+// mean (the HDFS balancer contract). It returns the number of moves.
+// Moves never co-locate two replicas of a block on one node.
+func (c *Cluster) Balance(threshold float64) int {
+	moves := 0
+	for i := 0; i < 10_000; i++ { // hard bound against livelock
+		if !c.balanceStep(threshold) {
+			break
+		}
+		moves++
+	}
+	return moves
+}
+
+// balanceStep performs one replica move; it reports whether a move
+// happened.
+func (c *Cluster) balanceStep(threshold float64) bool {
+	c.mu.Lock()
+
+	type nodeUtil struct {
+		dn   *DataNode
+		util float64
+	}
+	var utils []nodeUtil
+	var totalUsed, totalCap float64
+	for _, id := range c.order {
+		dn := c.nodes[id]
+		if !dn.isAlive() || dn.Capacity == 0 {
+			continue
+		}
+		u := float64(dn.used()) / float64(dn.Capacity)
+		utils = append(utils, nodeUtil{dn, u})
+		totalUsed += float64(dn.used())
+		totalCap += float64(dn.Capacity)
+	}
+	if totalCap == 0 || len(utils) < 2 {
+		c.mu.Unlock()
+		return false
+	}
+	mean := totalUsed / totalCap
+	sort.Slice(utils, func(i, j int) bool { return utils[i].util > utils[j].util })
+	src := utils[0]
+	dst := utils[len(utils)-1]
+	if src.util <= mean+threshold || dst.util >= mean-threshold {
+		c.mu.Unlock()
+		return false
+	}
+
+	// Find a block on src whose replica set excludes dst and fits.
+	var meta *blockMeta
+	for _, f := range c.files {
+		for _, b := range f.blocks {
+			onSrc, onDst := false, false
+			for _, r := range b.replicas {
+				if r == src.dn.ID {
+					onSrc = true
+				}
+				if r == dst.dn.ID {
+					onDst = true
+				}
+			}
+			if onSrc && !onDst && dst.dn.hasSpace(b.size) {
+				meta = b
+				break
+			}
+		}
+		if meta != nil {
+			break
+		}
+	}
+	c.mu.Unlock()
+	if meta == nil {
+		return false
+	}
+
+	data, err := src.dn.getBlock(meta.id)
+	if err != nil {
+		return false
+	}
+	if err := dst.dn.putBlock(meta.id, data); err != nil {
+		return false
+	}
+	src.dn.dropBlock(meta.id)
+
+	c.mu.Lock()
+	for i, r := range meta.replicas {
+		if r == src.dn.ID {
+			meta.replicas[i] = dst.dn.ID
+		}
+	}
+	c.mu.Unlock()
+	return true
+}

@@ -1,0 +1,66 @@
+package dfs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func benchCluster(b *testing.B, nodes int) *Cluster {
+	b.Helper()
+	c := NewCluster(Config{BlockSize: 256 * units.KiB, Replication: 3, Seed: 1})
+	for i := 0; i < nodes; i++ {
+		if _, err := c.AddDataNode(fmt.Sprintf("dn%02d", i), fmt.Sprintf("r%d", i%3), 16*units.GiB); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkWriteReplicated measures the triple-replicated write path
+// (placement + three block copies).
+func BenchmarkWriteReplicated(b *testing.B) {
+	c := benchCluster(b, 9)
+	data := make([]byte, 1*units.MiB)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.WriteFile(fmt.Sprintf("/bench/%06d", i), "dn00", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadLocal measures reads served from a writer-local
+// replica — the fast path MapReduce locality scheduling buys.
+func BenchmarkReadLocal(b *testing.B) {
+	c := benchCluster(b, 9)
+	data := make([]byte, 4*units.MiB)
+	if err := c.WriteFile("/bench/file", "dn00", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadFile("/bench/file", "dn00"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockLocations measures the namenode metadata path the
+// MapReduce scheduler hammers while building splits.
+func BenchmarkBlockLocations(b *testing.B) {
+	c := benchCluster(b, 9)
+	data := make([]byte, 8*units.MiB) // 32 blocks
+	if err := c.WriteFile("/bench/file", "", data); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.BlockLocations("/bench/file"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package dfs
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/units"
+)
+
+// DataNode stores block replicas in memory. Its exported fields are
+// immutable after AddDataNode; mutable state is guarded by mu.
+type DataNode struct {
+	ID       string
+	Rack     string
+	Capacity units.Bytes
+
+	mu       sync.Mutex
+	blocks   map[BlockID][]byte
+	sums     map[BlockID]uint32 // CRC-32C per replica, verified on read
+	usedByte units.Bytes
+	alive    bool
+}
+
+func (dn *DataNode) isAlive() bool {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return dn.alive
+}
+
+func (dn *DataNode) used() units.Bytes {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return dn.usedByte
+}
+
+// Used returns the bytes stored on the node.
+func (dn *DataNode) Used() units.Bytes { return dn.used() }
+
+// Alive reports whether the node is serving.
+func (dn *DataNode) Alive() bool { return dn.isAlive() }
+
+// BlockCount returns the number of replicas held.
+func (dn *DataNode) BlockCount() int {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return len(dn.blocks)
+}
+
+// hasSpace reports whether the node can accept sz more bytes.
+func (dn *DataNode) hasSpace(sz units.Bytes) bool {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	return dn.alive && dn.usedByte+sz <= dn.Capacity
+}
+
+// putBlock stores a replica. The data slice is copied: callers reuse
+// their buffers.
+func (dn *DataNode) putBlock(id BlockID, data []byte) error {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if !dn.alive {
+		return fmt.Errorf("%w: %s", ErrDeadNode, dn.ID)
+	}
+	sz := units.Bytes(len(data))
+	if dn.usedByte+sz > dn.Capacity {
+		return fmt.Errorf("dfs: datanode %s out of space", dn.ID)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	dn.blocks[id] = cp
+	dn.sums[id] = crc32.Checksum(cp, crcTable)
+	dn.usedByte += sz
+	return nil
+}
+
+// getBlock returns the stored replica bytes (not a copy; callers must
+// not mutate), verifying the replica's checksum first — a corrupt
+// replica reads as an error so callers fall over to another copy.
+func (dn *DataNode) getBlock(id BlockID) ([]byte, error) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if !dn.alive {
+		return nil, fmt.Errorf("%w: %s", ErrDeadNode, dn.ID)
+	}
+	data, ok := dn.blocks[id]
+	if !ok {
+		return nil, fmt.Errorf("dfs: node %s missing block %s", dn.ID, id)
+	}
+	if want, ok := dn.sums[id]; ok {
+		if got := crc32.Checksum(data, crcTable); got != want {
+			return nil, fmt.Errorf("dfs: node %s block %s corrupt on read", dn.ID, id)
+		}
+	}
+	return data, nil
+}
+
+// dropBlock removes a replica if present.
+func (dn *DataNode) dropBlock(id BlockID) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if data, ok := dn.blocks[id]; ok {
+		dn.usedByte -= units.Bytes(len(data))
+		delete(dn.blocks, id)
+		delete(dn.sums, id)
+	}
+}
+
+// kill marks the node dead and returns the IDs of blocks it held.
+func (dn *DataNode) kill() []BlockID {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	dn.alive = false
+	out := make([]BlockID, 0, len(dn.blocks))
+	for id := range dn.blocks {
+		out = append(out, id)
+	}
+	return out
+}

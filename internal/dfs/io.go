@@ -1,0 +1,315 @@
+package dfs
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// Create opens a new file for writing. clientHint names the datanode
+// the writer runs on (first replicas land there, as in HDFS); it may
+// be empty for off-cluster writers. The writer is not safe for
+// concurrent use; the cluster is.
+func (c *Cluster) Create(name, clientHint string) (*FileWriter, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.files[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	c.nextID++
+	f := &fileEntry{name: name, id: c.nextID}
+	c.files[name] = f
+	return &FileWriter{
+		c:    c,
+		f:    f,
+		hint: clientHint,
+		buf:  make([]byte, 0, int(c.cfg.BlockSize)),
+	}, nil
+}
+
+// FileWriter streams data into block-sized chunks and commits each
+// block to its replica set.
+type FileWriter struct {
+	c      *Cluster
+	f      *fileEntry
+	hint   string
+	buf    []byte
+	closed bool
+	err    error
+}
+
+var _ io.WriteCloser = (*FileWriter)(nil)
+
+// Write buffers p, flushing a block every time BlockSize accumulates.
+func (w *FileWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("dfs: write to closed writer for %q", w.f.name)
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	total := 0
+	bs := int(w.c.cfg.BlockSize)
+	for len(p) > 0 {
+		room := bs - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		total += n
+		if len(w.buf) == bs {
+			if err := w.flushBlock(); err != nil {
+				w.err = err
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flushBlock commits the buffered bytes as one block.
+func (w *FileWriter) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	sz := units.Bytes(len(w.buf))
+
+	w.c.mu.Lock()
+	id := BlockID{File: w.f.id, Index: len(w.f.blocks)}
+	replicas := w.c.choosePlacement(w.hint, sz)
+	w.c.mu.Unlock()
+
+	if len(replicas) == 0 {
+		return fmt.Errorf("%w: block %s (%s)", ErrNoSpace, id, sz)
+	}
+	stored := replicas[:0:0]
+	for _, nodeID := range replicas {
+		dn, ok := w.c.Node(nodeID)
+		if !ok {
+			continue
+		}
+		if err := dn.putBlock(id, w.buf); err != nil {
+			continue // under-replicate rather than fail, like HDFS
+		}
+		stored = append(stored, nodeID)
+	}
+	if len(stored) == 0 {
+		return fmt.Errorf("%w: block %s: all replicas failed", ErrNoSpace, id)
+	}
+
+	w.c.mu.Lock()
+	w.f.blocks = append(w.f.blocks, &blockMeta{id: id, size: sz, replicas: stored})
+	w.f.size += sz
+	w.c.bytesWrit += sz * units.Bytes(len(stored))
+	w.c.mu.Unlock()
+
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the trailing partial block and marks the file
+// complete. A file is readable only after Close.
+func (w *FileWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.c.mu.Lock()
+	w.f.complete = true
+	w.c.mu.Unlock()
+	return nil
+}
+
+// Open returns a reader over a complete file. clientHint names the
+// reading node; replicas local to it are preferred (short-circuit
+// reads), which is what makes MapReduce locality worth scheduling for.
+func (c *Cluster) Open(name, clientHint string) (*FileReader, error) {
+	c.mu.RLock()
+	f, ok := c.files[name]
+	if !ok {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if !f.complete {
+		c.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %q", ErrIncomplete, name)
+	}
+	blocks := make([]*blockMeta, len(f.blocks))
+	copy(blocks, f.blocks)
+	size := f.size
+	c.mu.RUnlock()
+	return &FileReader{c: c, name: name, blocks: blocks, size: size, hint: clientHint}, nil
+}
+
+// FileReader reads a file sequentially; ReadAt-style section reads are
+// provided for record readers that start mid-file. It is not safe for
+// concurrent use; open one per task.
+type FileReader struct {
+	c      *Cluster
+	name   string
+	blocks []*blockMeta
+	size   units.Bytes
+	hint   string
+
+	pos    int64
+	curIdx int
+	cur    []byte // current block data
+	curOff int64  // file offset of cur[0]
+}
+
+var _ io.ReadCloser = (*FileReader)(nil)
+var _ io.ReaderAt = (*FileReader)(nil)
+
+// Size returns the file length.
+func (r *FileReader) Size() units.Bytes { return r.size }
+
+// Read implements io.Reader.
+func (r *FileReader) Read(p []byte) (int, error) {
+	if r.pos >= int64(r.size) {
+		return 0, io.EOF
+	}
+	n, err := r.ReadAt(p, r.pos)
+	r.pos += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+// Seek implements io.Seeker for whence = io.SeekStart/Current/End.
+func (r *FileReader) Seek(offset int64, whence int) (int64, error) {
+	var abs int64
+	switch whence {
+	case io.SeekStart:
+		abs = offset
+	case io.SeekCurrent:
+		abs = r.pos + offset
+	case io.SeekEnd:
+		abs = int64(r.size) + offset
+	default:
+		return 0, fmt.Errorf("dfs: bad whence %d", whence)
+	}
+	if abs < 0 {
+		return 0, fmt.Errorf("dfs: negative seek %d", abs)
+	}
+	r.pos = abs
+	return abs, nil
+}
+
+// ReadAt implements io.ReaderAt across block boundaries.
+func (r *FileReader) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(r.size) {
+		return 0, io.EOF
+	}
+	total := 0
+	for total < len(p) && off < int64(r.size) {
+		data, base, err := r.blockFor(off)
+		if err != nil {
+			return total, err
+		}
+		n := copy(p[total:], data[off-base:])
+		total += n
+		off += int64(n)
+	}
+	if total < len(p) {
+		return total, io.EOF
+	}
+	return total, nil
+}
+
+// blockFor loads (and caches) the block containing file offset off,
+// returning its data and base offset.
+func (r *FileReader) blockFor(off int64) ([]byte, int64, error) {
+	if r.cur != nil && off >= r.curOff && off < r.curOff+int64(len(r.cur)) {
+		return r.cur, r.curOff, nil
+	}
+	base := int64(0)
+	for i, b := range r.blocks {
+		if off < base+int64(b.size) {
+			data, err := r.fetch(b)
+			if err != nil {
+				return nil, 0, err
+			}
+			r.cur, r.curOff, r.curIdx = data, base, i
+			return data, base, nil
+		}
+		base += int64(b.size)
+	}
+	return nil, 0, io.EOF
+}
+
+// fetch reads one block from the best replica: the hint node when it
+// holds one (a local read), otherwise the first live replica.
+func (r *FileReader) fetch(b *blockMeta) ([]byte, error) {
+	var lastErr error
+	// Local replica first.
+	ordered := make([]string, 0, len(b.replicas))
+	for _, id := range b.replicas {
+		if id == r.hint {
+			ordered = append(ordered, id)
+		}
+	}
+	for _, id := range b.replicas {
+		if id != r.hint {
+			ordered = append(ordered, id)
+		}
+	}
+	for _, id := range ordered {
+		dn, ok := r.c.Node(id)
+		if !ok {
+			continue
+		}
+		data, err := dn.getBlock(b.id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.c.mu.Lock()
+		if id == r.hint {
+			r.c.localReads++
+		} else {
+			r.c.remoteReads++
+		}
+		r.c.bytesRead += b.size
+		r.c.mu.Unlock()
+		return data, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("dfs: block %s has no replicas", b.id)
+	}
+	return nil, lastErr
+}
+
+// Close releases the reader (no-op; present for io.ReadCloser).
+func (r *FileReader) Close() error { return nil }
+
+// WriteFile is a convenience that writes data as one file.
+func (c *Cluster) WriteFile(name, clientHint string, data []byte) error {
+	w, err := c.Create(name, clientHint)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile is a convenience that returns a file's full contents.
+func (c *Cluster) ReadFile(name, clientHint string) ([]byte, error) {
+	r, err := c.Open(name, clientHint)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}

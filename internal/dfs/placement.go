@@ -1,0 +1,95 @@
+package dfs
+
+import "repro/internal/units"
+
+// choosePlacement implements the HDFS-2011 default block placement:
+//
+//  1. first replica on the writer's node when it is a datanode with
+//     space, otherwise a random node;
+//  2. second replica on a node in a different rack;
+//  3. third replica on a different node in the second replica's rack;
+//  4. any further replicas on random nodes.
+//
+// Every choice excludes nodes already holding the block and nodes
+// without space. If the cluster cannot satisfy the full replication
+// factor the block is placed on as many nodes as possible (like HDFS,
+// which writes under-replicated rather than failing).
+// Callers must hold c.mu.
+func (c *Cluster) choosePlacement(clientHint string, sz units.Bytes) []string {
+	want := c.cfg.Replication
+	chosen := make([]string, 0, want)
+	taken := make(map[string]bool)
+
+	pick := func(pred func(*DataNode) bool) *DataNode {
+		// Collect candidates in deterministic order, then pick one with
+		// the seeded RNG so placement spreads but replays identically.
+		var cands []*DataNode
+		for _, id := range c.order {
+			dn := c.nodes[id]
+			if taken[id] || !dn.hasSpace(sz) {
+				continue
+			}
+			if pred != nil && !pred(dn) {
+				continue
+			}
+			cands = append(cands, dn)
+		}
+		if len(cands) == 0 {
+			return nil
+		}
+		return cands[c.rng.Intn(len(cands))]
+	}
+
+	add := func(dn *DataNode) {
+		chosen = append(chosen, dn.ID)
+		taken[dn.ID] = true
+	}
+
+	// Replica 1: writer-local if possible.
+	if clientHint != "" {
+		if dn, ok := c.nodes[clientHint]; ok && dn.hasSpace(sz) {
+			add(dn)
+		}
+	}
+	if len(chosen) == 0 {
+		if dn := pick(nil); dn != nil {
+			add(dn)
+		} else {
+			return nil
+		}
+	}
+	firstRack := c.nodes[chosen[0]].Rack
+
+	// Replica 2: different rack (fall back to any node if single-rack).
+	if want >= 2 {
+		dn := pick(func(d *DataNode) bool { return d.Rack != firstRack })
+		if dn == nil {
+			dn = pick(nil)
+		}
+		if dn != nil {
+			add(dn)
+		}
+	}
+
+	// Replica 3: same rack as replica 2, different node.
+	if want >= 3 && len(chosen) >= 2 {
+		secondRack := c.nodes[chosen[1]].Rack
+		dn := pick(func(d *DataNode) bool { return d.Rack == secondRack })
+		if dn == nil {
+			dn = pick(nil)
+		}
+		if dn != nil {
+			add(dn)
+		}
+	}
+
+	// Remaining replicas: anywhere.
+	for len(chosen) < want {
+		dn := pick(nil)
+		if dn == nil {
+			break
+		}
+		add(dn)
+	}
+	return chosen
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes the full registry; every experiment
+// must produce a well-formed table.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tbl.ID != r.ID {
+				t.Fatalf("table ID %q, want %q", tbl.ID, r.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row width %d vs %d columns: %v", len(row), len(tbl.Columns), row)
+				}
+			}
+			if !strings.Contains(tbl.String(), tbl.PaperClaim) {
+				t.Fatal("rendering lost the paper claim")
+			}
+		})
+	}
+}
+
+func TestE1SustainsPaperRate(t *testing.T) {
+	tbl, err := E1IngestHTM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DES row: ~500k objects/day, ~2 TB.
+	des := tbl.Rows[0]
+	objs, _ := strconv.Atoi(strings.TrimSuffix(des[1], "/day"))
+	if objs < 490_000 || objs > 510_000 {
+		t.Fatalf("objects/day = %d, want ~500k", objs)
+	}
+	if des[4] != "0" {
+		t.Fatalf("rejected = %s", des[4])
+	}
+	if !strings.HasPrefix(des[2], "2.00TB") && !strings.HasPrefix(des[2], "1.99TB") {
+		t.Fatalf("volume = %s, want ~2TB", des[2])
+	}
+}
+
+func TestE5MatchesPaperFifteenDays(t *testing.T) {
+	tbl, err := E5Transfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := parseDays(t, tbl.Rows[0][1])
+	realistic := parseDays(t, tbl.Rows[1][1])
+	shared := parseDays(t, tbl.Rows[2][1])
+	if ideal < 9.0 || ideal > 9.5 {
+		t.Fatalf("ideal = %.1f days", ideal)
+	}
+	if realistic < 14 || realistic > 16 {
+		t.Fatalf("realistic = %.1f days, want the paper's ~15", realistic)
+	}
+	if shared < 3.5*ideal {
+		t.Fatalf("shared = %.1f days, should be ~4x ideal", shared)
+	}
+}
+
+func parseDays(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, " days"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE8ProjectsTwentyMinutes(t *testing.T) {
+	tbl, err := E8Visualization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var projected string
+	for _, row := range tbl.Rows {
+		if strings.Contains(row[0], "60-node model") {
+			projected = row[1]
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(projected, " min"), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", projected, err)
+	}
+	if v < 18 || v > 22 {
+		t.Fatalf("projected = %.1f min, want ~20 (paper)", v)
+	}
+}
+
+func TestE11Reaches6PB(t *testing.T) {
+	tbl, err := E11Growth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw6PBin2012 := false
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "2012") && strings.HasPrefix(row[1], "6.00PB") {
+			saw6PBin2012 = true
+		}
+	}
+	if !saw6PBin2012 {
+		t.Fatalf("no 6 PB installed during 2012: %v", tbl.Rows)
+	}
+}
+
+func TestE12CatchesCorruption(t *testing.T) {
+	tbl, err := E12Rules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[0] == "tampered dataset flagged corrupt" && row[1] != "yes" {
+			t.Fatalf("corruption not caught: %v", tbl.Rows)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package experiments regenerates every quantitative claim and figure
+// in the paper's evaluation content (slides 5-14). Each experiment
+// returns a Table pairing the paper's figure with what this
+// reproduction measures; cmd/lsdf-bench prints them all and
+// EXPERIMENTS.md records the comparison. Absolute numbers need not
+// match the authors' testbed — the shape (who wins, by what factor,
+// where crossovers fall) is the reproduction target.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Columns    []string
+	Rows       [][]string
+	Notes      string
+}
+
+// String renders the table for terminal output.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "  paper: %s\n", t.PaperClaim)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		sb.WriteString("  ")
+		for i, cell := range cells {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&sb, "  note: %s\n", t.Notes)
+	}
+	return sb.String()
+}
+
+// Runner is one experiment entry in the registry.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns the full experiment registry in paper order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "htm-ingest", E1IngestHTM},
+		{"E2", "facility-fill", E2FacilityFill},
+		{"E3", "metadata", E3Metadata},
+		{"E4", "adal", E4ADAL},
+		{"E5", "transfer", E5Transfer},
+		{"E6", "mapreduce-scaling", E6MapReduceScaling},
+		{"E7", "tag-triggered-workflow", E7TagTriggeredWorkflow},
+		{"E8", "visualization", E8Visualization},
+		{"E9", "dna-sequencing", E9DNASequencing},
+		{"E10", "cloud-deploy", E10CloudDeploy},
+		{"E11", "growth", E11Growth},
+		{"E12", "rules", E12Rules},
+	}
+}

@@ -1,0 +1,65 @@
+package facility
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// ClusterModel projects measured small-scale MapReduce throughput to
+// the paper's 60-node cluster. The paper reports aggregate outcomes
+// ("1 TB dataset in 20 min"); we measure the real engine at laptop
+// scale, calibrate per-node streaming throughput, and scale with a
+// serial-fraction (Amdahl) model that captures the scheduling and
+// shuffle overheads that keep scaling slightly sublinear.
+type ClusterModel struct {
+	Nodes          int
+	PerNodeRate    units.Rate // sustained processing rate of one node
+	SerialFraction float64    // job fraction that does not parallelize
+}
+
+// LSDFCluster returns the paper's analysis cluster calibrated to the
+// 1 TB / 20 min aggregate claim: 60 nodes moving 1e12 bytes in 1200 s
+// is ~0.83 GB/s aggregate. With a 2% serial fraction the Amdahl
+// speedup at 60 nodes is ~27.5×, so the single-node base rate is
+// ~30 MB/s and each of the 60 nodes contributes ~14 MB/s effective —
+// modest for 2011 commodity disks, which is exactly the paper's point.
+func LSDFCluster() ClusterModel {
+	return ClusterModel{
+		Nodes:          60,
+		PerNodeRate:    units.Rate(30.3 * 1e6),
+		SerialFraction: 0.02,
+	}
+}
+
+// Speedup returns the Amdahl speedup at n nodes relative to one node.
+func (m ClusterModel) Speedup(n int) float64 {
+	if n <= 0 {
+		n = 1
+	}
+	s := m.SerialFraction
+	return 1 / (s + (1-s)/float64(n))
+}
+
+// AggregateRate returns the effective processing rate at n nodes.
+func (m ClusterModel) AggregateRate(n int) units.Rate {
+	return units.Rate(float64(m.PerNodeRate) * m.Speedup(n))
+}
+
+// TimeFor returns the modeled completion time of a data-parallel job
+// over b bytes at n nodes.
+func (m ClusterModel) TimeFor(b units.Bytes, n int) time.Duration {
+	return m.AggregateRate(n).TimeFor(b)
+}
+
+// Calibrate sets PerNodeRate from a measured run: measured bytes were
+// processed in elapsed time on nodes workers. The serial fraction is
+// kept; the per-node rate is back-solved through the Amdahl model so
+// projections to other node counts stay consistent with the sample.
+func (m *ClusterModel) Calibrate(b units.Bytes, elapsed time.Duration, nodes int) {
+	if elapsed <= 0 || nodes <= 0 {
+		return
+	}
+	aggregate := float64(b) / elapsed.Seconds()
+	m.PerNodeRate = units.Rate(aggregate / m.Speedup(nodes))
+}

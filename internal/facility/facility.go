@@ -1,0 +1,148 @@
+// Package facility assembles the LSDF (slide 10's architecture
+// figure): the federated storage namespace (ADAL), the project
+// metadata DB, the DataBrowser, the workflow orchestrator, the rule
+// engine, and the Hadoop analysis cluster — plus discrete-event
+// scenario models for the facility-scale numbers (petabytes, tape,
+// 10 GE) that cannot run for real on a laptop.
+package facility
+
+import (
+	"fmt"
+
+	"repro/internal/adal"
+	"repro/internal/cloud"
+	"repro/internal/databrowser"
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/metadata"
+	"repro/internal/objectstore"
+	"repro/internal/rules"
+	"repro/internal/units"
+	"repro/internal/workflow"
+)
+
+// Options configures a real (executable) facility instance. Zero
+// values scale the paper's layout down to laptop size.
+type Options struct {
+	// DFSNodes is the analysis cluster size (paper: 60).
+	DFSNodes int
+	// DFSRacks spreads nodes across racks (paper-era: 4 racks).
+	DFSRacks int
+	// DFSBlockSize is the HDFS block size (paper-era default 64 MiB;
+	// tests use smaller).
+	DFSBlockSize units.Bytes
+	// DFSNodeCapacity bounds each datanode (110 TB / 60 at full scale).
+	DFSNodeCapacity units.Bytes
+	// Replication is the HDFS replication factor (default 3).
+	Replication int
+	// AsyncWorkflows > 0 runs triggered workflows on that many workers.
+	AsyncWorkflows int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DFSNodes <= 0 {
+		o.DFSNodes = 8
+	}
+	if o.DFSRacks <= 0 {
+		o.DFSRacks = 2
+	}
+	if o.DFSBlockSize <= 0 {
+		o.DFSBlockSize = 4 * units.MiB
+	}
+	if o.DFSNodeCapacity <= 0 {
+		o.DFSNodeCapacity = 4 * units.GiB
+	}
+	if o.Replication <= 0 {
+		o.Replication = 3
+	}
+	return o
+}
+
+// Facility is the executable LSDF: every service of the paper's
+// architecture, wired and running in-process.
+type Facility struct {
+	Layer        *adal.Layer
+	Meta         *metadata.Store
+	Browser      *databrowser.Browser
+	Orchestrator *workflow.Orchestrator
+	Rules        *rules.Engine
+	DFS          *dfs.Cluster
+	Cloud        *cloud.Cloud // nil unless a scenario attaches one
+
+	// Mounts, for reference: /ddn and /ibm are the disk systems,
+	// /archive the tape-backed store, /hdfs the analysis cluster,
+	// /s3 the slide-14 object store (versioned).
+	DDN, IBM, Archive *adal.MemFS
+	ObjectStore       *objectstore.Store
+}
+
+// New assembles a facility.
+func New(opts Options) (*Facility, error) {
+	opts = opts.withDefaults()
+
+	cluster := dfs.NewCluster(dfs.Config{
+		BlockSize:   opts.DFSBlockSize,
+		Replication: opts.Replication,
+		Seed:        1,
+	})
+	for i := 0; i < opts.DFSNodes; i++ {
+		rack := fmt.Sprintf("rack%d", i%opts.DFSRacks)
+		if _, err := cluster.AddDataNode(fmt.Sprintf("dn%03d", i), rack, opts.DFSNodeCapacity); err != nil {
+			return nil, err
+		}
+	}
+
+	layer := adal.NewLayer()
+	ddn := adal.NewMemFS("ddn")
+	ibm := adal.NewMemFS("ibm")
+	arc := adal.NewMemFS("archive")
+	objStore := objectstore.New(true)
+	if err := objStore.CreateBucket("lsdf"); err != nil {
+		return nil, err
+	}
+	objBackend, err := objectstore.NewBackend("s3", objStore, "lsdf")
+	if err != nil {
+		return nil, err
+	}
+	for prefix, b := range map[string]adal.Backend{
+		"/ddn":     ddn,
+		"/ibm":     ibm,
+		"/archive": arc,
+		"/hdfs":    adal.NewDFSBackend("hdfs", cluster, "dn000"),
+		"/s3":      objBackend,
+	} {
+		if err := layer.Mount(prefix, b); err != nil {
+			return nil, err
+		}
+	}
+
+	meta := metadata.NewStore()
+	f := &Facility{
+		Layer:       layer,
+		Meta:        meta,
+		Browser:     databrowser.New(layer, meta),
+		DFS:         cluster,
+		DDN:         ddn,
+		IBM:         ibm,
+		Archive:     arc,
+		ObjectStore: objStore,
+	}
+	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
+	f.Rules = rules.NewEngine(layer, meta)
+	return f, nil
+}
+
+// Close releases orchestrator workers and detaches the rule engine.
+func (f *Facility) Close() {
+	if f.Orchestrator != nil {
+		f.Orchestrator.Close()
+	}
+	if f.Rules != nil {
+		f.Rules.Close()
+	}
+}
+
+// RunJob executes a MapReduce job on the facility's analysis cluster.
+func (f *Facility) RunJob(cfg mapreduce.Config) (*mapreduce.Result, error) {
+	return mapreduce.Run(f.DFS, cfg)
+}

@@ -1,0 +1,139 @@
+package facility
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// The growth model regenerates slide 14's capacity planning: the
+// facility holds 2 PB in 2011, grows to 6 PB of installed capacity in
+// 2012, and the ingest load climbs from ~1 PB/year (2012) toward
+// 6 PB/year (2014) as communities onboard.
+
+// Community is one experiment's onboarding plan.
+type Community struct {
+	Name       string
+	Onboarded  time.Duration // virtual time after simulation start
+	DailyRate  units.Bytes   // steady-state ingest per day once onboarded
+	RampMonths int           // months to reach the steady rate (linear)
+}
+
+// CapacityStep is one planned capacity installation.
+type CapacityStep struct {
+	At    time.Duration
+	Total units.Bytes // installed capacity after this step
+}
+
+// GrowthConfig describes a planning scenario.
+type GrowthConfig struct {
+	Start       time.Time // calendar anchor for reporting
+	Communities []Community
+	Capacity    []CapacityStep
+	Horizon     time.Duration
+	Snapshot    time.Duration // sampling period (default 30 days)
+}
+
+// GrowthPoint is one sampled state of the facility.
+type GrowthPoint struct {
+	When          time.Time
+	Stored        units.Bytes
+	Installed     units.Bytes
+	IngestPerYear units.Bytes // instantaneous rate annualized
+	Utilization   float64
+}
+
+// LSDFGrowth is the paper's plan: zebrafish microscopy already
+// running at 2 TB/day, capacity 2 PB now and 6 PB during 2012, with
+// KATRIN, climate and geophysics onboarding through 2011-2012 pushing
+// ingest toward 6 PB/year by 2014.
+func LSDFGrowth() GrowthConfig {
+	day := units.Bytes(0)
+	_ = day
+	return GrowthConfig{
+		Start: time.Date(2011, 5, 20, 0, 0, 0, 0, time.UTC),
+		Communities: []Community{
+			{Name: "zebrafish-htm", Onboarded: 0, DailyRate: 2 * units.TB, RampMonths: 0},
+			{Name: "bioquant-heidelberg", Onboarded: units.Days(60), DailyRate: units.Bytes(1.5 * float64(units.TB)), RampMonths: 3},
+			{Name: "katrin", Onboarded: units.Days(210), DailyRate: 2 * units.TB, RampMonths: 6},
+			{Name: "climate", Onboarded: units.Days(300), DailyRate: 3 * units.TB, RampMonths: 6},
+			{Name: "geophysics", Onboarded: units.Days(420), DailyRate: 2 * units.TB, RampMonths: 6},
+			{Name: "anka-synchrotron", Onboarded: units.Days(540), DailyRate: units.Bytes(6.5 * float64(units.TB)), RampMonths: 9},
+		},
+		Capacity: []CapacityStep{
+			{At: 0, Total: 2 * units.PB},
+			{At: units.Days(330), Total: 6 * units.PB}, // "6 PB in 2012"
+			{At: units.Days(700), Total: 10 * units.PB},
+			{At: units.Days(1000), Total: 14 * units.PB},
+		},
+		Horizon:  units.Years(3.6), // through 2014
+		Snapshot: units.Days(30),
+	}
+}
+
+// RunGrowth integrates the plan in virtual time and returns monthly
+// snapshots. Data ages to tape but stays stored (the paper keeps old
+// data: "old data is very valuable"), so Stored is cumulative.
+func RunGrowth(cfg GrowthConfig) []GrowthPoint {
+	if cfg.Snapshot <= 0 {
+		cfg.Snapshot = units.Days(30)
+	}
+	eng := sim.New(1)
+	var stored float64 // bytes
+	caps := append([]CapacityStep(nil), cfg.Capacity...)
+	sort.Slice(caps, func(i, j int) bool { return caps[i].At < caps[j].At })
+
+	installedAt := func(t time.Duration) units.Bytes {
+		var cur units.Bytes
+		for _, c := range caps {
+			if c.At <= t {
+				cur = c.Total
+			}
+		}
+		return cur
+	}
+	// Community rate at time t (B/day).
+	rateAt := func(t time.Duration) float64 {
+		var total float64
+		for _, c := range cfg.Communities {
+			if t < c.Onboarded {
+				continue
+			}
+			r := float64(c.DailyRate)
+			if c.RampMonths > 0 {
+				ramp := float64(t-c.Onboarded) / float64(units.Days(30*float64(c.RampMonths)))
+				if ramp < 1 {
+					r *= ramp
+				}
+			}
+			total += r
+		}
+		return total
+	}
+
+	var points []GrowthPoint
+	step := units.Days(1)
+	stop := eng.Every(step, func() {
+		stored += rateAt(eng.Now())
+	})
+	defer stop()
+	sampled := eng.Every(cfg.Snapshot, func() {
+		installed := installedAt(eng.Now())
+		util := 0.0
+		if installed > 0 {
+			util = stored / float64(installed)
+		}
+		points = append(points, GrowthPoint{
+			When:          cfg.Start.Add(eng.Now()),
+			Stored:        units.Bytes(stored),
+			Installed:     installed,
+			IngestPerYear: units.Bytes(rateAt(eng.Now()) * 365),
+			Utilization:   util,
+		})
+	})
+	defer sampled()
+	eng.RunUntil(cfg.Horizon)
+	return points
+}

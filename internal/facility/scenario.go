@@ -1,0 +1,233 @@
+package facility
+
+import (
+	"time"
+
+	"repro/internal/hsm"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tape"
+	"repro/internal/units"
+)
+
+// Scenario is the facility-scale discrete-event model of slide 7: the
+// two disk systems (0.5 PB DDN + 1.4 PB IBM), the tape library, the
+// dedicated 10 GE backbone with its redundant routers, the direct
+// institute links, and the Heidelberg access path. It exists to
+// regenerate the paper's petabyte-scale numbers in virtual time.
+type Scenario struct {
+	Eng  *sim.Engine
+	Net  *netsim.Network
+	DDN  *storage.Array
+	IBM  *storage.Array
+	Tape *tape.Library
+	HSM  *hsm.Manager
+}
+
+// ScenarioConfig carries the facility's physical parameters; zero
+// values take the paper's figures.
+type ScenarioConfig struct {
+	DDNCapacity units.Bytes // 0.5 PB
+	IBMCapacity units.Bytes // 1.4 PB
+	DiskBW      units.Rate  // aggregate controller bandwidth per array
+	Backbone    units.Rate  // 10 GE
+	TapeConfig  tape.Config
+	HSMPolicy   hsm.Policy
+	Seed        int64
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.DDNCapacity <= 0 {
+		c.DDNCapacity = 500 * units.TB
+	}
+	if c.IBMCapacity <= 0 {
+		c.IBMCapacity = units.Bytes(1400) * units.TB
+	}
+	if c.DiskBW <= 0 {
+		c.DiskBW = units.Rate(5 * units.GB)
+	}
+	if c.Backbone <= 0 {
+		c.Backbone = units.Gbps(10)
+	}
+	if c.TapeConfig.Drives == 0 {
+		c.TapeConfig = tape.DefaultConfig()
+	}
+	if c.HSMPolicy.HighWatermark == 0 {
+		c.HSMPolicy = hsm.DefaultPolicy()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// NewScenario builds the slide-7 topology:
+//
+//	experiments (DAQ) --10GE--> router1/router2 --10GE--> {ddn, ibm, hadoop}
+//	uni-heidelberg   --10GE--> access --------> routers
+//	kit-network/internet ----> access
+func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	eng := sim.New(cfg.Seed)
+	net := netsim.New(eng)
+
+	// Redundant routers: two parallel paths between the edge and the
+	// storage core.
+	for _, router := range []string{"router1", "router2"} {
+		net.AddDuplexLink("daq", router, cfg.Backbone, time.Millisecond)
+		net.AddDuplexLink(router, "ddn", cfg.Backbone, time.Millisecond)
+		net.AddDuplexLink(router, "ibm", cfg.Backbone, time.Millisecond)
+		net.AddDuplexLink(router, "hadoop", cfg.Backbone, time.Millisecond)
+		net.AddDuplexLink("access", router, cfg.Backbone, time.Millisecond)
+	}
+	net.AddDuplexLink("uni-heidelberg", "access", cfg.Backbone, 3*time.Millisecond)
+	net.AddDuplexLink("kit-campus", "access", cfg.Backbone, time.Millisecond)
+
+	ddn := storage.NewArray(eng, "ddn", cfg.DDNCapacity, cfg.DiskBW)
+	ibm := storage.NewArray(eng, "ibm", cfg.IBMCapacity, cfg.DiskBW)
+	if _, err := ddn.CreateVolume("data", 0); err != nil {
+		return nil, err
+	}
+	if _, err := ibm.CreateVolume("data", 0); err != nil {
+		return nil, err
+	}
+	lib := tape.New(eng, cfg.TapeConfig)
+	mgr, err := hsm.New(eng, ibm, "data", lib, cfg.HSMPolicy)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Eng: eng, Net: net, DDN: ddn, IBM: ibm, Tape: lib, HSM: mgr}, nil
+}
+
+// IngestStream models one experiment's DAQ feed: objects of Size
+// produced at Rate, streamed to the target array through the
+// backbone. DAQ systems buffer and stream continuously rather than
+// opening a connection per image, so the model sends one network flow
+// per Batch window carrying every whole object produced in it; the
+// leftover bytes carry into the next window. Used for the
+// sustained-ingest experiment (E1) and the fill simulation (E2).
+type IngestStream struct {
+	Name  string
+	Src   string // network node, e.g. "daq"
+	Dst   string // "ddn" or "ibm"
+	Size  units.Bytes
+	Rate  units.Rate    // offered load
+	Batch time.Duration // flow window; default 1 minute
+}
+
+// IngestResult summarizes a stream after a run.
+type IngestResult struct {
+	Objects     int
+	Bytes       units.Bytes
+	Rejected    int // objects dropped because the array filled
+	LastArrival time.Duration
+}
+
+// RunIngest offers the streams for the given duration of virtual time
+// and reports per-stream results. Capacity is reserved per batch when
+// the batch is offered (the DAQ pauses when the target volume is
+// full, which surfaces as rejected objects).
+func (s *Scenario) RunIngest(streams []*IngestStream, horizon time.Duration) map[string]*IngestResult {
+	results := make(map[string]*IngestResult, len(streams))
+	for _, st := range streams {
+		st := st
+		res := &IngestResult{}
+		results[st.Name] = res
+		batch := st.Batch
+		if batch <= 0 {
+			batch = time.Minute
+		}
+		array := s.DDN
+		if st.Dst == "ibm" {
+			array = s.IBM
+		}
+		carry := 0.0 // produced bytes not yet shipped
+		var launch func()
+		launch = func() {
+			if s.Eng.Now() >= horizon {
+				return
+			}
+			carry += float64(st.Rate) * batch.Seconds()
+			objs := int(carry / float64(st.Size))
+			if objs > 0 {
+				bytes := units.Bytes(objs) * st.Size
+				carry -= float64(bytes)
+				if err := array.Alloc("data", bytes); err != nil {
+					res.Rejected += objs
+				} else {
+					_, ferr := s.Net.StartFlow(netsim.FlowSpec{
+						Src: st.Src, Dst: st.Dst, Bytes: bytes,
+						Efficiency: 0.9,
+						OnComplete: func(f *netsim.Flow) {
+							array.Write(bytes, func() {
+								res.Objects += objs
+								res.Bytes += bytes
+								res.LastArrival = s.Eng.Now()
+							})
+						},
+					})
+					if ferr != nil {
+						res.Rejected += objs
+						_ = array.Free("data", bytes)
+					}
+				}
+			}
+			s.Eng.Schedule(batch, launch)
+		}
+		s.Eng.Schedule(0, launch)
+	}
+	s.Eng.RunUntil(horizon)
+	// Drain in-flight transfers so byte counts are complete.
+	s.Eng.Run()
+	return results
+}
+
+// TransferCase is one row of the E5 study.
+type TransferCase struct {
+	Label      string
+	Bytes      units.Bytes
+	Efficiency float64
+	Parallel   int // concurrent competing flows on the same path
+}
+
+// TransferResult reports the modeled completion time.
+type TransferResult struct {
+	Label string
+	Days  float64
+}
+
+// TransferStudy runs each case on a fresh two-node 10 GE topology and
+// reports the slowest flow's completion in days — the paper's "15
+// days to transfer 1 PB" arithmetic with protocol efficiency and
+// contention made explicit.
+func TransferStudy(cases []TransferCase, linkRate units.Rate) []TransferResult {
+	out := make([]TransferResult, 0, len(cases))
+	for _, c := range cases {
+		eng := sim.New(1)
+		net := netsim.New(eng)
+		net.AddDuplexLink("kit", "remote", linkRate, 10*time.Millisecond)
+		n := c.Parallel
+		if n <= 0 {
+			n = 1
+		}
+		var worst time.Duration
+		for i := 0; i < n; i++ {
+			_, err := net.StartFlow(netsim.FlowSpec{
+				Src: "kit", Dst: "remote", Bytes: c.Bytes,
+				Efficiency: c.Efficiency,
+				OnComplete: func(f *netsim.Flow) {
+					if f.Elapsed() > worst {
+						worst = f.Elapsed()
+					}
+				},
+			})
+			if err != nil {
+				panic(err)
+			}
+		}
+		eng.Run()
+		out = append(out, TransferResult{Label: c.Label, Days: worst.Hours() / 24})
+	}
+	return out
+}

@@ -1,0 +1,49 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+// BenchmarkPipeline measures the real ingest path — checksum, store,
+// register, tag — per 256 KiB microscope frame.
+func BenchmarkPipeline(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			layer := adal.NewLayer()
+			if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
+				b.Fatal(err)
+			}
+			meta := metadata.NewStore()
+			p := New(layer, meta, Config{Workers: workers})
+			frame := make([]byte, 256*units.KiB)
+			state := uint64(0x9E3779B97F4A7C15)
+			for i := range frame {
+				state ^= state >> 12
+				state ^= state << 25
+				state ^= state >> 27
+				frame[i] = byte(state)
+			}
+			b.SetBytes(int64(len(frame)))
+			objs := make([]*Object, b.N)
+			for i := range objs {
+				objs[i] = &Object{
+					Project: "bench",
+					Path:    fmt.Sprintf("/b/%09d", i),
+					Data:    bytes.NewReader(frame),
+					Tags:    []string{"raw"},
+				}
+			}
+			b.ResetTimer()
+			if _, err := p.Run(context.Background(), &SliceProducer{Objects: objs}); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,187 @@
+// Package ingest is the DAQ-to-facility pipeline (slides 5/7): data
+// produced by experiment acquisition systems streams into LSDF
+// storage and is simultaneously registered — with checksum and basic
+// metadata — in the project metadata DB, because "invisible
+// (not-found, no-metadata) data is lost data".
+//
+// The pipeline is a real concurrent worker pool over the ADAL layer:
+// producers hand over objects, workers checksum and store them, and
+// every stored object becomes a metadata dataset, optionally tagged
+// so rule engines and workflow triggers can react.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+// Object is one unit of acquisition output.
+type Object struct {
+	Project string
+	Path    string // target federated path
+	Data    io.Reader
+	Basic   map[string]string // experiment-specific basic metadata
+	Tags    []string          // applied after registration
+}
+
+// Producer yields objects until io.EOF. Implementations need not be
+// safe for concurrent use; the pipeline serializes Next calls.
+type Producer interface {
+	Next() (*Object, error)
+}
+
+// SliceProducer serves a fixed set of objects, mainly for tests.
+type SliceProducer struct {
+	Objects []*Object
+	i       int
+}
+
+// Next implements Producer.
+func (s *SliceProducer) Next() (*Object, error) {
+	if s.i >= len(s.Objects) {
+		return nil, io.EOF
+	}
+	o := s.Objects[s.i]
+	s.i++
+	return o, nil
+}
+
+// Config tunes a pipeline.
+type Config struct {
+	Workers int // parallel store+register workers; default 4
+	// OnError, when non-nil, observes per-object failures; the
+	// pipeline continues. When nil, the first failure aborts the run.
+	OnError func(obj *Object, err error)
+}
+
+// Stats summarizes one pipeline run.
+type Stats struct {
+	Objects  int64
+	Bytes    units.Bytes
+	Errors   int64
+	Duration time.Duration
+}
+
+// Throughput returns the mean ingest rate of the run.
+func (s Stats) Throughput() units.Rate {
+	if s.Duration <= 0 {
+		return 0
+	}
+	return units.Rate(float64(s.Bytes) / s.Duration.Seconds())
+}
+
+// Pipeline couples the ADAL layer with the metadata store.
+type Pipeline struct {
+	layer *adal.Layer
+	meta  *metadata.Store
+	cfg   Config
+}
+
+// New creates a pipeline.
+func New(layer *adal.Layer, meta *metadata.Store, cfg Config) *Pipeline {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	return &Pipeline{layer: layer, meta: meta, cfg: cfg}
+}
+
+// Run drains the producer. It returns the run statistics and the
+// first error when no OnError observer is installed.
+func (p *Pipeline) Run(ctx context.Context, prod Producer) (Stats, error) {
+	start := time.Now()
+	var stats Stats
+	jobs := make(chan *Object)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	fail := func(obj *Object, err error) {
+		atomic.AddInt64(&stats.Errors, 1)
+		if p.cfg.OnError != nil {
+			p.cfg.OnError(obj, err)
+			return
+		}
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for w := 0; w < p.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for obj := range jobs {
+				n, err := p.ingestOne(obj)
+				if err != nil {
+					fail(obj, err)
+					continue
+				}
+				atomic.AddInt64(&stats.Objects, 1)
+				atomic.AddInt64((*int64)(&stats.Bytes), int64(n))
+			}
+		}()
+	}
+
+feed:
+	for {
+		obj, err := prod.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(nil, fmt.Errorf("ingest: producer: %w", err))
+			break
+		}
+		select {
+		case jobs <- obj:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	stats.Duration = time.Since(start)
+	if firstErr != nil {
+		return stats, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// ingestOne stores and registers a single object.
+func (p *Pipeline) ingestOne(obj *Object) (units.Bytes, error) {
+	if obj.Data == nil {
+		return 0, errors.New("ingest: object without data")
+	}
+	n, sum, err := p.layer.WriteChecksummed(obj.Path, obj.Data)
+	if err != nil {
+		return 0, fmt.Errorf("ingest: store %s: %w", obj.Path, err)
+	}
+	ds, err := p.meta.Create(obj.Project, obj.Path, n, sum, obj.Basic)
+	if err != nil {
+		// Storage succeeded but registration failed: remove the orphan
+		// so the facility never holds invisible data.
+		_ = p.layer.Remove(obj.Path)
+		return 0, fmt.Errorf("ingest: register %s: %w", obj.Path, err)
+	}
+	for _, tag := range obj.Tags {
+		if err := p.meta.Tag(ds.ID, tag); err != nil {
+			return 0, fmt.Errorf("ingest: tag %s: %w", obj.Path, err)
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,219 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+func newPipeline(t *testing.T, cfg Config) (*Pipeline, *adal.Layer, *metadata.Store) {
+	t.Helper()
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
+		t.Fatal(err)
+	}
+	meta := metadata.NewStore()
+	return New(layer, meta, cfg), layer, meta
+}
+
+func objects(n int) []*Object {
+	out := make([]*Object, n)
+	for i := range out {
+		out[i] = &Object{
+			Project: "zebrafish",
+			Path:    fmt.Sprintf("/itg/plate1/img%04d.raw", i),
+			Data:    strings.NewReader(strings.Repeat("x", 1000+i)),
+			Basic:   map[string]string{"well": fmt.Sprintf("A%d", i%12)},
+			Tags:    []string{"raw"},
+		}
+	}
+	return out
+}
+
+func TestIngestRegistersEverything(t *testing.T) {
+	p, layer, meta := newPipeline(t, Config{Workers: 4})
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objects(25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 25 || stats.Errors != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if meta.Count() != 25 {
+		t.Fatalf("registered = %d", meta.Count())
+	}
+	// Every dataset has a checksum matching its stored bytes and the
+	// raw tag.
+	for _, ds := range meta.Find(metadata.Query{Project: "zebrafish"}) {
+		if !ds.HasTag("raw") {
+			t.Fatalf("dataset %s missing tag", ds.ID)
+		}
+		sum, err := layer.Checksum(ds.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != ds.Checksum {
+			t.Fatalf("checksum mismatch for %s", ds.Path)
+		}
+	}
+	if stats.Throughput() <= 0 {
+		t.Fatal("throughput not measured")
+	}
+}
+
+func TestIngestAbortsOnFirstError(t *testing.T) {
+	p, _, meta := newPipeline(t, Config{Workers: 2})
+	objs := objects(3)
+	objs[1].Data = nil // poison
+	_, err := p.Run(context.Background(), &SliceProducer{Objects: objs})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if meta.Count() >= 3 {
+		t.Fatal("pipeline did not stop early")
+	}
+}
+
+func TestIngestContinuesWithObserver(t *testing.T) {
+	var seen []error
+	p, _, meta := newPipeline(t, Config{
+		Workers: 2,
+		OnError: func(_ *Object, err error) { seen = append(seen, err) },
+	})
+	objs := objects(5)
+	objs[2].Data = nil
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 4 || stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if meta.Count() != 4 {
+		t.Fatalf("registered = %d", meta.Count())
+	}
+	_ = seen
+}
+
+func TestDuplicatePathCleansOrphan(t *testing.T) {
+	p, layer, meta := newPipeline(t, Config{Workers: 1, OnError: func(*Object, error) {}})
+	objs := []*Object{
+		{Project: "p", Path: "/dup", Data: strings.NewReader("one")},
+	}
+	if _, err := p.Run(context.Background(), &SliceProducer{Objects: objs}); err != nil {
+		t.Fatal(err)
+	}
+	// Second ingest to the same logical path: storage-level Create
+	// fails (exists), so no orphan and no second registration.
+	objs2 := []*Object{{Project: "p", Path: "/dup", Data: strings.NewReader("two")}}
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if meta.Count() != 1 {
+		t.Fatalf("registered = %d", meta.Count())
+	}
+	r, err := layer.Open("/dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	if string(data) != "one" {
+		t.Fatalf("original overwritten: %q", data)
+	}
+}
+
+func TestRegistrationFailureRemovesStoredObject(t *testing.T) {
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
+		t.Fatal(err)
+	}
+	meta := metadata.NewStore()
+	// Pre-register the logical path so metadata.Create fails while the
+	// storage write succeeds.
+	if _, err := meta.Create("p", "/clash", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	p := New(layer, meta, Config{Workers: 1, OnError: func(*Object, error) {}})
+	objs := []*Object{{Project: "p", Path: "/clash", Data: strings.NewReader("zzz")}}
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if _, err := layer.Open("/clash"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("orphan not cleaned: %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	p, _, _ := newPipeline(t, Config{Workers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := p.Run(ctx, &SliceProducer{Objects: objects(100)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProducerError(t *testing.T) {
+	p, _, _ := newPipeline(t, Config{Workers: 1})
+	boom := errors.New("daq offline")
+	_, err := p.Run(context.Background(), &failingProducer{after: 2, err: boom})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+type failingProducer struct {
+	after int
+	err   error
+	i     int
+}
+
+func (f *failingProducer) Next() (*Object, error) {
+	if f.i >= f.after {
+		return nil, f.err
+	}
+	f.i++
+	return &Object{
+		Project: "p",
+		Path:    fmt.Sprintf("/fp/%d", f.i),
+		Data:    bytes.NewReader([]byte("x")),
+	}, nil
+}
+
+func TestLargeParallelIngest(t *testing.T) {
+	p, _, meta := newPipeline(t, Config{Workers: 8})
+	const n = 200
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objects(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != n {
+		t.Fatalf("objects = %d", stats.Objects)
+	}
+	var want units.Bytes
+	for i := 0; i < n; i++ {
+		want += units.Bytes(1000 + i)
+	}
+	if stats.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", stats.Bytes, want)
+	}
+	if meta.Count() != n {
+		t.Fatalf("registered = %d", meta.Count())
+	}
+}

@@ -1,0 +1,164 @@
+// Package mapreduce is an executable reimplementation of Hadoop
+// MapReduce as used on the LSDF analysis cluster (slides 11/13: DNA
+// sequencing and 3D biomedical visualization as "dedicated Hadoop
+// applications"). It runs real map and reduce functions over files
+// stored in the dfs package, with the scheduling behaviours the
+// paper's era of Hadoop relied on: block-sized input splits,
+// data-local task placement, per-task combiners, hash partitioning,
+// sorted shuffles and speculative execution for stragglers.
+package mapreduce
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"time"
+)
+
+// Emit publishes one intermediate or output key/value pair. The value
+// slice is copied by the framework; callers may reuse buffers.
+type Emit func(key string, value []byte)
+
+// Mapper transforms one input record into intermediate pairs.
+type Mapper interface {
+	Map(key string, value []byte, emit Emit) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key string, value []byte, emit Emit) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key string, value []byte, emit Emit) error { return f(key, value, emit) }
+
+// Reducer folds all values of one key into output pairs. It also
+// serves as the combiner type: combiners run per map task over that
+// task's local output.
+type Reducer interface {
+	Reduce(key string, values [][]byte, emit Emit) error
+}
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values [][]byte, emit Emit) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key string, values [][]byte, emit Emit) error {
+	return f(key, values, emit)
+}
+
+// InputFormat selects how splits become records.
+type InputFormat int
+
+// Input formats.
+const (
+	// TextInput yields one record per newline-terminated line; the key
+	// is the byte offset (decimal string), the value the line without
+	// its newline. Lines crossing split boundaries belong to the split
+	// where they start, as in Hadoop's TextInputFormat.
+	TextInput InputFormat = iota
+	// WholeSplitInput yields exactly one record per split: the key is
+	// "file:offset", the value the split's raw bytes. Used for binary
+	// scientific data (image frames, volume slabs).
+	WholeSplitInput
+)
+
+// Config describes one job.
+type Config struct {
+	Name        string
+	Inputs      []string // dfs paths
+	OutputDir   string   // dfs prefix; reducers write OutputDir/part-NNNNN
+	Mapper      Mapper
+	Reducer     Reducer // nil = identity (sorted map output passes through)
+	Combiner    Reducer // optional, runs over each map task's output
+	NumReducers int     // default 1
+	MapOnly     bool    // skip shuffle/reduce; write part-m files (NumReduceTasks=0)
+	Format      InputFormat
+
+	SlotsPerNode int  // concurrent tasks per node; default 2 (Hadoop default)
+	Locality     bool // prefer scheduling map tasks onto replica holders
+
+	Speculative     bool          // re-launch slow tasks near the end of the map phase
+	StragglerFactor float64       // speculation threshold multiplier; default 1.5
+	MonitorInterval time.Duration // speculation check period; default 5 ms
+
+	MaxAttempts int // per task, counting reruns after errors; default 2
+
+	// TaskDelay, when non-nil, injects per-(node, task) wall-clock delay
+	// before a map attempt runs. It exists for straggler and failure
+	// experiments; production jobs leave it nil.
+	TaskDelay func(node string, task int) time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.NumReducers <= 0 {
+		out.NumReducers = 1
+	}
+	if out.SlotsPerNode <= 0 {
+		out.SlotsPerNode = 2
+	}
+	if out.StragglerFactor <= 0 {
+		out.StragglerFactor = 1.5
+	}
+	if out.MonitorInterval <= 0 {
+		out.MonitorInterval = 5 * time.Millisecond
+	}
+	if out.MaxAttempts <= 0 {
+		out.MaxAttempts = 2
+	}
+	return out
+}
+
+// Counters are the job's observable metrics, updated atomically while
+// the job runs.
+type Counters struct {
+	MapTasks         int64
+	ReduceTasks      int64
+	InputRecords     int64
+	MapOutputRecords int64
+	CombineInput     int64
+	CombineOutput    int64
+	ReduceGroups     int64
+	OutputRecords    int64
+	LocalTasks       int64 // map tasks scheduled on a replica holder
+	RemoteTasks      int64
+	SpecLaunched     int64 // speculative attempts started
+	SpecWon          int64 // tasks whose speculative attempt committed first
+	Retries          int64 // attempts re-run after errors
+	ShuffleBytes     int64 // intermediate volume fed to reducers
+}
+
+func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
+
+// snapshot returns a plain copy readable without atomics.
+func (c *Counters) snapshot() Counters {
+	return Counters{
+		MapTasks:         atomic.LoadInt64(&c.MapTasks),
+		ReduceTasks:      atomic.LoadInt64(&c.ReduceTasks),
+		InputRecords:     atomic.LoadInt64(&c.InputRecords),
+		MapOutputRecords: atomic.LoadInt64(&c.MapOutputRecords),
+		CombineInput:     atomic.LoadInt64(&c.CombineInput),
+		CombineOutput:    atomic.LoadInt64(&c.CombineOutput),
+		ReduceGroups:     atomic.LoadInt64(&c.ReduceGroups),
+		OutputRecords:    atomic.LoadInt64(&c.OutputRecords),
+		LocalTasks:       atomic.LoadInt64(&c.LocalTasks),
+		RemoteTasks:      atomic.LoadInt64(&c.RemoteTasks),
+		SpecLaunched:     atomic.LoadInt64(&c.SpecLaunched),
+		SpecWon:          atomic.LoadInt64(&c.SpecWon),
+		Retries:          atomic.LoadInt64(&c.Retries),
+		ShuffleBytes:     atomic.LoadInt64(&c.ShuffleBytes),
+	}
+}
+
+// Result is what a finished job reports.
+type Result struct {
+	Counters    Counters
+	Duration    time.Duration
+	OutputFiles []string
+}
+
+// partition assigns a key to one of r reducers by FNV hash, Hadoop's
+// HashPartitioner contract.
+func partition(key string, r int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r))
+}

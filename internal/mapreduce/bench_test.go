@@ -1,0 +1,70 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkWordCount measures the full engine — splits, locality
+// scheduling, map, combine, shuffle, reduce, output — on a fixed
+// corpus.
+func BenchmarkWordCount(b *testing.B) {
+	var corpus strings.Builder
+	for i := 0; i < 20_000; i++ {
+		fmt.Fprintf(&corpus, "zebrafish embryo plate%03d image analysis\n", i%64)
+	}
+	data := []byte(corpus.String())
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := testCluster(8, 64*units.KiB)
+		if err := c.WriteFile("/bench/corpus", "", data); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := Run(c, Config{
+			Inputs: []string{"/bench/corpus"}, OutputDir: "/bench/out",
+			Mapper: wordCountMapper, Reducer: sumReducer, Combiner: sumReducer,
+			NumReducers: 4, Locality: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTextSplitReader isolates the record reader with the
+// split-boundary convention.
+func BenchmarkTextSplitReader(b *testing.B) {
+	c := testCluster(4, 32*units.KiB)
+	var corpus strings.Builder
+	for i := 0; i < 50_000; i++ {
+		fmt.Fprintf(&corpus, "line number %d with a realistic length of text\n", i)
+	}
+	data := []byte(corpus.String())
+	if err := c.WriteFile("/bench/lines", "", data); err != nil {
+		b.Fatal(err)
+	}
+	splits, err := buildSplits(c, []string{"/bench/lines"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, s := range splits {
+			if err := readRecords(c, s, TextInput, "", func(string, []byte) error {
+				n++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if n != 50_000 {
+			b.Fatalf("records = %d", n)
+		}
+	}
+}

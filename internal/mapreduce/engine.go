@@ -1,0 +1,358 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+)
+
+// ErrNoNodes is returned when the cluster has no live datanodes.
+var ErrNoNodes = errors.New("mapreduce: cluster has no live datanodes")
+
+// kv is one intermediate pair. Pairs preserve emission order within a
+// map task, which (together with task-index-ordered merging) makes
+// reduce input deterministic regardless of scheduling.
+type kv struct {
+	key string
+	val []byte
+}
+
+// attempt is one scheduled execution of a map task.
+type attempt struct {
+	task        int
+	speculative bool
+}
+
+type taskState struct {
+	committed   bool
+	launched    int // attempts started
+	running     int
+	start       time.Time // most recent attempt start
+	specStarted bool
+}
+
+type engine struct {
+	cluster *dfs.Cluster
+	cfg     Config
+	splits  []split
+	nodes   []string
+	ctr     *Counters
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   []attempt
+	tasks     []taskState
+	mapOut    [][][]kv // [task][partition] -> pairs
+	done      int
+	failed    error
+	durations []time.Duration
+}
+
+// Run executes a job to completion.
+func Run(cluster *dfs.Cluster, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mapper == nil {
+		return nil, errors.New("mapreduce: job needs a Mapper")
+	}
+	nodes := cluster.DataNodes()
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	splits, err := buildSplits(cluster, cfg.Inputs)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	e := &engine{
+		cluster: cluster,
+		cfg:     cfg,
+		splits:  splits,
+		nodes:   nodes,
+		ctr:     &Counters{},
+		tasks:   make([]taskState, len(splits)),
+		mapOut:  make([][][]kv, len(splits)),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	for i := range splits {
+		e.pending = append(e.pending, attempt{task: i})
+	}
+	e.ctr.add(&e.ctr.MapTasks, int64(len(splits)))
+
+	if err := e.runMapPhase(); err != nil {
+		return nil, err
+	}
+	var outputs []string
+	if cfg.MapOnly {
+		outputs, err = e.runMapOnly()
+	} else {
+		outputs, err = e.runReducePhase()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Counters:    e.ctr.snapshot(),
+		Duration:    time.Since(start),
+		OutputFiles: outputs,
+	}, nil
+}
+
+// runMapPhase drives worker goroutines (SlotsPerNode per node) plus
+// the speculation monitor until every task commits or one fails. The
+// phase ends as soon as all tasks have committed — it does NOT wait
+// for still-running losing attempts (Hadoop kills those; here they
+// wake later, find their task committed, and are discarded).
+func (e *engine) runMapPhase() error {
+	if len(e.splits) == 0 {
+		return nil
+	}
+	for _, node := range e.nodes {
+		for s := 0; s < e.cfg.SlotsPerNode; s++ {
+			go e.workerLoop(node)
+		}
+	}
+	stopMon := make(chan struct{})
+	var monWG sync.WaitGroup
+	if e.cfg.Speculative {
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			e.speculationMonitor(stopMon)
+		}()
+	}
+	e.mu.Lock()
+	for e.done < len(e.splits) && e.failed == nil {
+		e.cond.Wait()
+	}
+	err := e.failed
+	e.mu.Unlock()
+	close(stopMon)
+	monWG.Wait()
+	return err
+}
+
+func (e *engine) workerLoop(node string) {
+	for {
+		e.mu.Lock()
+		for len(e.pending) == 0 && e.done < len(e.splits) && e.failed == nil {
+			e.cond.Wait()
+		}
+		if e.failed != nil || e.done >= len(e.splits) {
+			e.mu.Unlock()
+			return
+		}
+		att, ok := e.takeLocked(node)
+		if !ok {
+			e.mu.Unlock()
+			continue
+		}
+		e.mu.Unlock()
+		e.runAttempt(node, att)
+	}
+}
+
+// takeLocked pops the best pending attempt for node: with locality
+// enabled, the first attempt whose split has a replica on node wins;
+// otherwise FIFO. Callers hold e.mu.
+func (e *engine) takeLocked(node string) (attempt, bool) {
+	idx := -1
+	if e.cfg.Locality {
+		for i, att := range e.pending {
+			for _, loc := range e.splits[att.task].locations {
+				if loc == node {
+					idx = i
+					break
+				}
+			}
+			if idx >= 0 {
+				break
+			}
+		}
+	}
+	local := idx >= 0
+	if idx < 0 {
+		idx = 0
+	}
+	att := e.pending[idx]
+	e.pending = append(e.pending[:idx], e.pending[idx+1:]...)
+	if e.tasks[att.task].committed {
+		// A speculative duplicate whose original already finished.
+		return attempt{}, false
+	}
+	st := &e.tasks[att.task]
+	st.launched++
+	st.running++
+	st.start = time.Now()
+	if !att.speculative {
+		if local {
+			e.ctr.add(&e.ctr.LocalTasks, 1)
+		} else {
+			e.ctr.add(&e.ctr.RemoteTasks, 1)
+		}
+	}
+	return att, true
+}
+
+// runAttempt executes one map attempt and commits its output if it is
+// the first completion for the task.
+func (e *engine) runAttempt(node string, att attempt) {
+	if e.cfg.TaskDelay != nil {
+		if d := e.cfg.TaskDelay(node, att.task); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	started := time.Now()
+	parts, records, outRecords, err := e.executeMap(node, e.splits[att.task])
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := &e.tasks[att.task]
+	st.running--
+	if err != nil {
+		if st.committed {
+			return // a sibling attempt already succeeded
+		}
+		if st.launched < e.cfg.MaxAttempts {
+			e.ctr.add(&e.ctr.Retries, 1)
+			e.pending = append(e.pending, attempt{task: att.task})
+		} else if e.failed == nil {
+			e.failed = fmt.Errorf("mapreduce: task %d failed after %d attempts: %w",
+				att.task, st.launched, err)
+		}
+		e.cond.Broadcast()
+		return
+	}
+	if st.committed {
+		return // lost the race; discard
+	}
+	st.committed = true
+	e.mapOut[att.task] = parts
+	e.done++
+	e.durations = append(e.durations, time.Since(started))
+	e.ctr.add(&e.ctr.InputRecords, records)
+	e.ctr.add(&e.ctr.MapOutputRecords, outRecords)
+	if att.speculative {
+		e.ctr.add(&e.ctr.SpecWon, 1)
+	}
+	e.cond.Broadcast()
+}
+
+// executeMap runs the mapper over one split and returns per-partition
+// output (combined if a combiner is configured).
+func (e *engine) executeMap(node string, s split) (parts [][]kv, records, outRecords int64, err error) {
+	r := e.cfg.NumReducers
+	parts = make([][]kv, r)
+	emit := func(key string, value []byte) {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		p := partition(key, r)
+		parts[p] = append(parts[p], kv{key: key, val: cp})
+		outRecords++
+	}
+	err = readRecords(e.cluster, s, e.cfg.Format, node, func(key string, value []byte) error {
+		records++
+		return e.cfg.Mapper.Map(key, value, emit)
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	// Map-side sort (stable: preserves emission order within a key).
+	for p := range parts {
+		sort.SliceStable(parts[p], func(i, j int) bool { return parts[p][i].key < parts[p][j].key })
+	}
+	if e.cfg.Combiner != nil {
+		for p := range parts {
+			combined, cerr := e.combine(parts[p])
+			if cerr != nil {
+				return nil, 0, 0, cerr
+			}
+			parts[p] = combined
+		}
+	}
+	return parts, records, outRecords, nil
+}
+
+// combine folds a sorted run of pairs through the combiner.
+func (e *engine) combine(sorted []kv) ([]kv, error) {
+	var out []kv
+	emit := func(key string, value []byte) {
+		cp := make([]byte, len(value))
+		copy(cp, value)
+		out = append(out, kv{key: key, val: cp})
+	}
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].key == sorted[i].key {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for _, p := range sorted[i:j] {
+			vals = append(vals, p.val)
+		}
+		e.ctr.add(&e.ctr.CombineInput, int64(j-i))
+		if err := e.cfg.Combiner.Reduce(sorted[i].key, vals, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	e.ctr.add(&e.ctr.CombineOutput, int64(len(out)))
+	// Combiner output for a sorted input is sorted as long as the
+	// combiner emits the group key; enforce for safety.
+	sort.SliceStable(out, func(a, b int) bool { return out[a].key < out[b].key })
+	return out, nil
+}
+
+// speculationMonitor launches duplicates for tasks running much longer
+// than the median completed task once no fresh work is pending —
+// Hadoop's classic straggler mitigation.
+func (e *engine) speculationMonitor(stop <-chan struct{}) {
+	ticker := time.NewTicker(e.cfg.MonitorInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		if e.done >= len(e.splits) || e.failed != nil {
+			e.mu.Unlock()
+			return
+		}
+		if len(e.pending) > 0 || len(e.durations) == 0 {
+			e.mu.Unlock()
+			continue
+		}
+		med := medianDuration(e.durations)
+		threshold := time.Duration(float64(med) * e.cfg.StragglerFactor)
+		launched := false
+		for t := range e.tasks {
+			st := &e.tasks[t]
+			if st.committed || st.running == 0 || st.specStarted {
+				continue
+			}
+			if time.Since(st.start) > threshold {
+				st.specStarted = true
+				e.pending = append(e.pending, attempt{task: t, speculative: true})
+				e.ctr.add(&e.ctr.SpecLaunched, 1)
+				launched = true
+			}
+		}
+		if launched {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+	}
+}
+
+func medianDuration(ds []time.Duration) time.Duration {
+	cp := make([]time.Duration, len(ds))
+	copy(cp, ds)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,147 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dfs"
+)
+
+// runReducePhase shuffles each partition's intermediate pairs into a
+// reducer and writes one part file per reducer to the dfs. Reduce
+// tasks are assigned to nodes round-robin and run under the same
+// per-node slot budget as map tasks.
+func (e *engine) runReducePhase() ([]string, error) {
+	r := e.cfg.NumReducers
+	e.ctr.add(&e.ctr.ReduceTasks, int64(r))
+
+	type job struct{ part int }
+	jobs := make(chan job)
+	outputs := make([]string, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+
+	workers := len(e.nodes) * e.cfg.SlotsPerNode
+	if workers > r {
+		workers = r
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				node := e.nodes[j.part%len(e.nodes)]
+				name, err := e.runReduceTask(j.part, node)
+				outputs[j.part] = name
+				errs[j.part] = err
+			}
+		}()
+	}
+	for p := 0; p < r; p++ {
+		jobs <- job{part: p}
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outputs, nil
+}
+
+// runReduceTask merges partition p from every map task, groups by key
+// and writes the reducer output as "key\tvalue" lines.
+func (e *engine) runReduceTask(p int, node string) (string, error) {
+	// Merge in task-index order, then stable sort: value order within
+	// a key is (map task, emission order), independent of scheduling.
+	var merged []kv
+	var shuffled int64
+	for t := range e.mapOut {
+		part := e.mapOut[t]
+		if p < len(part) {
+			merged = append(merged, part[p]...)
+			for _, pair := range part[p] {
+				shuffled += int64(len(pair.key) + len(pair.val))
+			}
+		}
+	}
+	e.ctr.add(&e.ctr.ShuffleBytes, shuffled)
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+
+	var buf bytes.Buffer
+	var outRecords int64
+	emit := func(key string, value []byte) {
+		buf.WriteString(key)
+		buf.WriteByte('\t')
+		buf.Write(value)
+		buf.WriteByte('\n')
+		outRecords++
+	}
+	reducer := e.cfg.Reducer
+	if reducer == nil {
+		reducer = identityReducer{}
+	}
+	i := 0
+	var groups int64
+	for i < len(merged) {
+		j := i
+		for j < len(merged) && merged[j].key == merged[i].key {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for _, pair := range merged[i:j] {
+			vals = append(vals, pair.val)
+		}
+		groups++
+		if err := reducer.Reduce(merged[i].key, vals, emit); err != nil {
+			return "", fmt.Errorf("mapreduce: reduce partition %d key %q: %w", p, merged[i].key, err)
+		}
+		i = j
+	}
+	e.ctr.add(&e.ctr.ReduceGroups, groups)
+	e.ctr.add(&e.ctr.OutputRecords, outRecords)
+
+	name := fmt.Sprintf("%s/part-%05d", strings.TrimRight(e.cfg.OutputDir, "/"), p)
+	if err := e.cluster.WriteFile(name, node, buf.Bytes()); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// identityReducer passes every value through under its key.
+type identityReducer struct{}
+
+func (identityReducer) Reduce(key string, values [][]byte, emit Emit) error {
+	for _, v := range values {
+		emit(key, v)
+	}
+	return nil
+}
+
+// ReadTextOutput collects a finished job's part files into a map from
+// key to the values emitted for it, in emission order. It is a test
+// and example convenience for jobs with text keys/values.
+func ReadTextOutput(cluster *dfs.Cluster, files []string) (map[string][]string, error) {
+	out := make(map[string][]string)
+	for _, f := range files {
+		data, err := cluster.ReadFile(f, "")
+		if err != nil {
+			return nil, err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(line, "\t")
+			if !ok {
+				return nil, fmt.Errorf("mapreduce: malformed output line %q in %s", line, f)
+			}
+			out[k] = append(out[k], v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package metadata
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkCreate measures dataset registration, the ingest
+// pipeline's per-object metadata cost.
+func BenchmarkCreate(b *testing.B) {
+	s := NewStore()
+	basic := map[string]string{"well": "A1", "wavelength": "488nm"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/b/%09d", i), 4*units.MB, "", basic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFindIndexed measures a tag-indexed query against a 100k
+// dataset repository (the E3 fast path).
+func BenchmarkFindIndexed(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 100_000; i++ {
+		ds, err := s.Create("p", fmt.Sprintf("/b/%06d", i), 1, "", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i%100 == 0 {
+			if err := s.Tag(ds.ID, "hot"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.Find(Query{Tags: []string{"hot"}}); len(got) != 1000 {
+			b.Fatalf("hits = %d", len(got))
+		}
+	}
+}
+
+// BenchmarkFindScan measures the same repository through a
+// basic-metadata filter that cannot use an index.
+func BenchmarkFindScan(b *testing.B) {
+	s := NewStore()
+	for i := 0; i < 100_000; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/b/%06d", i), 1, "",
+			map[string]string{"well": fmt.Sprintf("A%d", i%96)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Find(Query{Basic: map[string]string{"well": "A7"}, Limit: 10})
+	}
+}

@@ -1,0 +1,501 @@
+// Package metadata implements the LSDF project metadata database
+// (slide 8): "Metadata is essential ... metadata schema is highly
+// project-dependent => we use a project metadata DB."
+//
+// The data model follows the paper's figure exactly: experiment DATA
+// and BASIC METADATA are write-once/read-many and persistent, while
+// each processing pass appends its own metadata set (METADATA 1..N:
+// basic metadata + processing parameters + results). Datasets carry
+// free-form tags, which are what the DataBrowser and the workflow
+// trigger system key on.
+package metadata
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Errors reported by store operations.
+var (
+	ErrNotFound  = errors.New("metadata: dataset not found")
+	ErrDuplicate = errors.New("metadata: logical path already registered")
+	ErrImmutable = errors.New("metadata: basic metadata is write-once")
+)
+
+// Dataset is one registered data object. Basic metadata is immutable
+// after Create, matching the paper's write-once contract; tags and
+// processing records accumulate.
+type Dataset struct {
+	ID        string            `json:"id"`
+	Project   string            `json:"project"`
+	Path      string            `json:"path"` // logical path in the ADAL namespace
+	Size      units.Bytes       `json:"size"`
+	Checksum  string            `json:"checksum,omitempty"`
+	Basic     map[string]string `json:"basic,omitempty"`
+	Tags      []string          `json:"tags,omitempty"` // sorted
+	CreatedAt time.Time         `json:"created_at"`
+	Version   int               `json:"version"`
+
+	Processings []Processing `json:"processings,omitempty"`
+}
+
+// HasTag reports whether the dataset carries the tag.
+func (d *Dataset) HasTag(tag string) bool {
+	for _, t := range d.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Processing is one analysis pass over a dataset: the paper's
+// "processing X metadata + results X" block.
+type Processing struct {
+	ID         string            `json:"id"`
+	Tool       string            `json:"tool"`
+	Params     map[string]string `json:"params,omitempty"`
+	StartedAt  time.Time         `json:"started_at"`
+	FinishedAt time.Time         `json:"finished_at"`
+	Results    map[string]string `json:"results,omitempty"`
+	Outputs    []string          `json:"outputs,omitempty"` // logical paths of produced data
+}
+
+// EventType classifies store notifications.
+type EventType int
+
+// Store event types.
+const (
+	EventCreated EventType = iota
+	EventTagged
+	EventUntagged
+	EventProcessingAdded
+	EventDeleted
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EventCreated:
+		return "created"
+	case EventTagged:
+		return "tagged"
+	case EventUntagged:
+		return "untagged"
+	case EventProcessingAdded:
+		return "processing-added"
+	case EventDeleted:
+		return "deleted"
+	}
+	return fmt.Sprintf("event(%d)", int(t))
+}
+
+// Event is a store notification. Dataset is a snapshot taken after
+// the mutation.
+type Event struct {
+	Type    EventType
+	Dataset Dataset
+	Tag     string // set for EventTagged/EventUntagged
+}
+
+// Store is the metadata repository. All methods are safe for
+// concurrent use. Subscribers are invoked synchronously on the
+// mutating goroutine, after the mutation commits.
+type Store struct {
+	mu        sync.RWMutex
+	datasets  map[string]*Dataset
+	byPath    map[string]string          // path -> id
+	byProject map[string]map[string]bool // project -> ids
+	byTag     map[string]map[string]bool // tag -> ids
+	seq       int
+	clock     func() time.Time
+	subs      map[int]func(Event)
+	subSeq    int
+}
+
+// NewStore creates an empty repository using wall-clock time.
+func NewStore() *Store { return NewStoreWithClock(time.Now) }
+
+// NewStoreWithClock creates a repository with an injected clock, so
+// simulations can register datasets in virtual time.
+func NewStoreWithClock(clock func() time.Time) *Store {
+	return &Store{
+		datasets:  make(map[string]*Dataset),
+		byPath:    make(map[string]string),
+		byProject: make(map[string]map[string]bool),
+		byTag:     make(map[string]map[string]bool),
+		clock:     clock,
+		subs:      make(map[int]func(Event)),
+	}
+}
+
+// SetClock replaces the timestamp source (for tests and simulation).
+func (s *Store) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
+}
+
+// Create registers a dataset. The basic map is copied and immutable
+// afterwards. The logical path must be unique.
+func (s *Store) Create(project, path string, size units.Bytes, checksum string, basic map[string]string) (Dataset, error) {
+	s.mu.Lock()
+	if _, dup := s.byPath[path]; dup {
+		s.mu.Unlock()
+		return Dataset{}, fmt.Errorf("%w: %q", ErrDuplicate, path)
+	}
+	s.seq++
+	id := fmt.Sprintf("ds-%06d", s.seq)
+	d := &Dataset{
+		ID:        id,
+		Project:   project,
+		Path:      path,
+		Size:      size,
+		Checksum:  checksum,
+		Basic:     cloneMap(basic),
+		CreatedAt: s.clock(),
+		Version:   1,
+	}
+	s.datasets[id] = d
+	s.byPath[path] = id
+	if s.byProject[project] == nil {
+		s.byProject[project] = make(map[string]bool)
+	}
+	s.byProject[project][id] = true
+	snap := d.clone()
+	s.mu.Unlock()
+	s.publish(Event{Type: EventCreated, Dataset: snap})
+	return snap, nil
+}
+
+// Get returns a snapshot of a dataset by ID.
+func (s *Store) Get(id string) (Dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[id]
+	if !ok {
+		return Dataset{}, false
+	}
+	return d.clone(), true
+}
+
+// ByPath returns a snapshot of the dataset registered at path.
+func (s *Store) ByPath(path string) (Dataset, bool) {
+	s.mu.RLock()
+	id, ok := s.byPath[path]
+	if !ok {
+		s.mu.RUnlock()
+		return Dataset{}, false
+	}
+	d := s.datasets[id].clone()
+	s.mu.RUnlock()
+	return d, true
+}
+
+// Count returns the number of datasets.
+func (s *Store) Count() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.datasets)
+}
+
+// Tag adds a tag; it is idempotent. Subscribers observe EventTagged
+// only on the first application.
+func (s *Store) Tag(id, tag string) error {
+	s.mu.Lock()
+	d, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if d.HasTag(tag) {
+		s.mu.Unlock()
+		return nil
+	}
+	d.Tags = append(d.Tags, tag)
+	sort.Strings(d.Tags)
+	d.Version++
+	if s.byTag[tag] == nil {
+		s.byTag[tag] = make(map[string]bool)
+	}
+	s.byTag[tag][id] = true
+	snap := d.clone()
+	s.mu.Unlock()
+	s.publish(Event{Type: EventTagged, Dataset: snap, Tag: tag})
+	return nil
+}
+
+// Untag removes a tag if present.
+func (s *Store) Untag(id, tag string) error {
+	s.mu.Lock()
+	d, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if !d.HasTag(tag) {
+		s.mu.Unlock()
+		return nil
+	}
+	keep := d.Tags[:0]
+	for _, t := range d.Tags {
+		if t != tag {
+			keep = append(keep, t)
+		}
+	}
+	d.Tags = keep
+	d.Version++
+	delete(s.byTag[tag], id)
+	snap := d.clone()
+	s.mu.Unlock()
+	s.publish(Event{Type: EventUntagged, Dataset: snap, Tag: tag})
+	return nil
+}
+
+// AddProcessing appends a processing record, returning its ID.
+func (s *Store) AddProcessing(id string, p Processing) (string, error) {
+	s.mu.Lock()
+	d, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	p.ID = fmt.Sprintf("%s-p%03d", d.ID, len(d.Processings)+1)
+	p.Params = cloneMap(p.Params)
+	p.Results = cloneMap(p.Results)
+	p.Outputs = append([]string(nil), p.Outputs...)
+	d.Processings = append(d.Processings, p)
+	d.Version++
+	snap := d.clone()
+	s.mu.Unlock()
+	s.publish(Event{Type: EventProcessingAdded, Dataset: snap})
+	return p.ID, nil
+}
+
+// Delete removes a dataset.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	d, ok := s.datasets[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(s.datasets, id)
+	delete(s.byPath, d.Path)
+	delete(s.byProject[d.Project], id)
+	for _, t := range d.Tags {
+		delete(s.byTag[t], id)
+	}
+	snap := d.clone()
+	s.mu.Unlock()
+	s.publish(Event{Type: EventDeleted, Dataset: snap})
+	return nil
+}
+
+// Subscribe registers a callback for every subsequent mutation; the
+// returned function unsubscribes. Callbacks run synchronously, so
+// they must not call back into the Store's mutating methods from the
+// same goroutine stack if ordering matters to them.
+func (s *Store) Subscribe(fn func(Event)) (unsubscribe func()) {
+	s.mu.Lock()
+	id := s.subSeq
+	s.subSeq++
+	s.subs[id] = fn
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.subs, id)
+		s.mu.Unlock()
+	}
+}
+
+func (s *Store) publish(ev Event) {
+	s.mu.RLock()
+	fns := make([]func(Event), 0, len(s.subs))
+	ids := make([]int, 0, len(s.subs))
+	for id := range s.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fns = append(fns, s.subs[id])
+	}
+	s.mu.RUnlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (d *Dataset) clone() Dataset {
+	out := *d
+	out.Basic = cloneMap(d.Basic)
+	out.Tags = append([]string(nil), d.Tags...)
+	out.Processings = make([]Processing, len(d.Processings))
+	for i, p := range d.Processings {
+		cp := p
+		cp.Params = cloneMap(p.Params)
+		cp.Results = cloneMap(p.Results)
+		cp.Outputs = append([]string(nil), p.Outputs...)
+		out.Processings[i] = cp
+	}
+	return out
+}
+
+// Query selects datasets. Zero fields match everything; set fields
+// are conjunctive.
+type Query struct {
+	Project       string
+	Tags          []string // all must be present
+	PathPrefix    string
+	CreatedAfter  time.Time
+	CreatedBefore time.Time
+	Basic         map[string]string // all pairs must match
+	Limit         int               // 0 = unlimited
+}
+
+// Find returns matching dataset snapshots sorted by ID. It uses the
+// project and tag indexes to narrow the candidate set before
+// filtering, which is what keeps 10^5-dataset queries flat (E3).
+func (s *Store) Find(q Query) []Dataset {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	// Choose the narrowest index.
+	var candidates map[string]bool
+	if q.Project != "" {
+		candidates = s.byProject[q.Project]
+	}
+	for _, t := range q.Tags {
+		set := s.byTag[t]
+		if candidates == nil || len(set) < len(candidates) {
+			candidates = set
+		}
+	}
+
+	var ids []string
+	if candidates != nil {
+		ids = make([]string, 0, len(candidates))
+		for id := range candidates {
+			ids = append(ids, id)
+		}
+	} else {
+		ids = make([]string, 0, len(s.datasets))
+		for id := range s.datasets {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+
+	var out []Dataset
+	for _, id := range ids {
+		d := s.datasets[id]
+		if d == nil || !matches(d, q) {
+			continue
+		}
+		out = append(out, d.clone())
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+func matches(d *Dataset, q Query) bool {
+	if q.Project != "" && d.Project != q.Project {
+		return false
+	}
+	for _, t := range q.Tags {
+		if !d.HasTag(t) {
+			return false
+		}
+	}
+	if q.PathPrefix != "" && !strings.HasPrefix(d.Path, q.PathPrefix) {
+		return false
+	}
+	if !q.CreatedAfter.IsZero() && d.CreatedAt.Before(q.CreatedAfter) {
+		return false
+	}
+	if !q.CreatedBefore.IsZero() && !d.CreatedAt.Before(q.CreatedBefore) {
+		return false
+	}
+	for k, v := range q.Basic {
+		if d.Basic[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Export writes the full repository as JSON (one stable document).
+func (s *Store) Export(w io.Writer) error {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.datasets))
+	for id := range s.datasets {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	dump := struct {
+		Seq      int       `json:"seq"`
+		Datasets []Dataset `json:"datasets"`
+	}{Seq: s.seq}
+	for _, id := range ids {
+		dump.Datasets = append(dump.Datasets, s.datasets[id].clone())
+	}
+	s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dump)
+}
+
+// Import loads a repository dump into an empty store.
+func (s *Store) Import(r io.Reader) error {
+	var dump struct {
+		Seq      int       `json:"seq"`
+		Datasets []Dataset `json:"datasets"`
+	}
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("metadata: import: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.datasets) > 0 {
+		return errors.New("metadata: import into non-empty store")
+	}
+	s.seq = dump.Seq
+	for i := range dump.Datasets {
+		d := dump.Datasets[i]
+		cp := d.clone()
+		s.datasets[d.ID] = &cp
+		s.byPath[d.Path] = d.ID
+		if s.byProject[d.Project] == nil {
+			s.byProject[d.Project] = make(map[string]bool)
+		}
+		s.byProject[d.Project][d.ID] = true
+		for _, t := range d.Tags {
+			if s.byTag[t] == nil {
+				s.byTag[t] = make(map[string]bool)
+			}
+			s.byTag[t][d.ID] = true
+		}
+	}
+	return nil
+}

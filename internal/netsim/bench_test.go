@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// BenchmarkFlowChurn measures start-to-completion cycles through the
+// max-min solver on the facility topology — the hot loop of every
+// ingest scenario.
+func BenchmarkFlowChurn(b *testing.B) {
+	eng := sim.New(1)
+	n := New(eng)
+	for _, router := range []string{"r1", "r2"} {
+		n.AddDuplexLink("daq", router, units.Gbps(10), time.Millisecond)
+		n.AddDuplexLink(router, "ddn", units.Gbps(10), time.Millisecond)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.StartFlow(FlowSpec{Src: "daq", Dst: "ddn", Bytes: 100 * units.MB}); err != nil {
+			b.Fatal(err)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkMaxMinSolver stresses the water-filling recompute with
+// many concurrent flows over shared links.
+func BenchmarkMaxMinSolver(b *testing.B) {
+	for _, flows := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			eng := sim.New(1)
+			n := New(eng)
+			n.AddDuplexLink("a", "m", units.Gbps(10), 0)
+			n.AddDuplexLink("m", "z", units.Gbps(10), 0)
+			for i := 0; i < flows; i++ {
+				if _, err := n.StartFlow(FlowSpec{Src: "a", Dst: "z", Bytes: units.PB}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.recompute()
+			}
+		})
+	}
+}

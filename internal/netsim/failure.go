@@ -1,0 +1,97 @@
+package netsim
+
+// Link failure and re-routing: slide 7 shows redundant routers, so
+// losing one path must not interrupt DAQ traffic. FailLink takes a
+// directed link down; flows crossing it re-route over surviving paths
+// (router reconvergence) or stall at zero rate until RestoreLink.
+
+import "fmt"
+
+// FailLink marks the directed link from->to down and re-routes or
+// stalls the flows crossing it.
+func (n *Network) FailLink(from, to string) error {
+	return n.setLinkState(from, to, true)
+}
+
+// RestoreLink brings a failed link back and retries stalled flows.
+func (n *Network) RestoreLink(from, to string) error {
+	return n.setLinkState(from, to, false)
+}
+
+// FailDuplexLink fails both directions between a and b.
+func (n *Network) FailDuplexLink(a, b string) error {
+	if err := n.FailLink(a, b); err != nil {
+		return err
+	}
+	return n.FailLink(b, a)
+}
+
+func (n *Network) setLinkState(from, to string, down bool) error {
+	var link *Link
+	for _, l := range n.links {
+		if l.From.Name == from && l.To.Name == to {
+			link = l
+			break
+		}
+	}
+	if link == nil {
+		return fmt.Errorf("netsim: no link %s->%s", from, to)
+	}
+	if link.down == down {
+		return nil
+	}
+	n.advance()
+	link.down = down
+	clear(n.routeCache)
+
+	if down {
+		// Evict and re-route flows that crossed the failed link.
+		var affected []*Flow
+		for f := range link.flows {
+			affected = append(affected, f)
+		}
+		sortFlowsByID(affected)
+		for _, f := range affected {
+			for _, l := range f.path {
+				delete(l.flows, f)
+			}
+			n.placeFlow(f)
+		}
+	} else {
+		// Retry stalled flows; also re-route active flows in case the
+		// restored link shortens their path (routers reconverge to
+		// shortest paths).
+		var all []*Flow
+		for f := range n.flows {
+			all = append(all, f)
+		}
+		sortFlowsByID(all)
+		for _, f := range all {
+			for _, l := range f.path {
+				delete(l.flows, f)
+			}
+			n.placeFlow(f)
+		}
+	}
+	n.recompute()
+	n.scheduleNext()
+	return nil
+}
+
+// placeFlow routes (or stalls) a flow on the current topology.
+func (n *Network) placeFlow(f *Flow) {
+	path, err := n.path(f.Src, f.Dst)
+	if err != nil {
+		f.path = nil
+		f.stalled = true
+		return
+	}
+	f.stalled = false
+	f.path = path
+	for _, l := range path {
+		l.flows[f] = struct{}{}
+	}
+}
+
+// Stalled reports whether the flow currently has no route.
+func (f *Flow) Stalled() bool { return f.stalled }

@@ -1,0 +1,125 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/adal"
+)
+
+// Backend adapts one bucket to the ADAL Backend contract, so the
+// object store federates under the same namespace as the disk arrays
+// and the Hadoop filesystem — the paper's "transparent access over
+// background storage and technology changes" applied to the outlook's
+// new technology.
+type Backend struct {
+	name   string
+	store  *Store
+	bucket string
+}
+
+// NewBackend exposes bucket through ADAL. The bucket must exist.
+func NewBackend(name string, store *Store, bucket string) (*Backend, error) {
+	found := false
+	for _, b := range store.Buckets() {
+		if b == bucket {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucket)
+	}
+	return &Backend{name: name, store: store, bucket: bucket}, nil
+}
+
+// key maps an ADAL path to an object key (no leading slash).
+func key(path string) string { return strings.TrimPrefix(path, "/") }
+
+// Name implements adal.Backend.
+func (b *Backend) Name() string { return b.name }
+
+// Create implements adal.Backend. ADAL create-exclusive semantics map
+// to PutIf with an empty precondition.
+func (b *Backend) Create(path string) (io.WriteCloser, error) {
+	if _, err := b.store.Head(b.bucket, key(path)); err == nil {
+		return nil, fmt.Errorf("%w: %s:%s", adal.ErrExists, b.name, path)
+	}
+	return &objWriter{backend: b, key: key(path)}, nil
+}
+
+type objWriter struct {
+	backend *Backend
+	key     string
+	buf     bytes.Buffer
+	closed  bool
+}
+
+func (w *objWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("objectstore: write after close: %s", w.key)
+	}
+	return w.buf.Write(p)
+}
+
+func (w *objWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	_, err := w.backend.store.PutIf(w.backend.bucket, w.key, "", &w.buf)
+	if errors.Is(err, ErrBadETag) {
+		return fmt.Errorf("%w: %s:%s", adal.ErrExists, w.backend.name, w.key)
+	}
+	return err
+}
+
+// Open implements adal.Backend.
+func (b *Backend) Open(path string) (io.ReadCloser, error) {
+	r, _, err := b.store.Get(b.bucket, key(path))
+	if errors.Is(err, ErrNoObject) {
+		return nil, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, b.name, path)
+	}
+	return r, err
+}
+
+// Stat implements adal.Backend.
+func (b *Backend) Stat(path string) (adal.FileInfo, error) {
+	info, err := b.store.Head(b.bucket, key(path))
+	if err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return adal.FileInfo{}, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, b.name, path)
+		}
+		return adal.FileInfo{}, err
+	}
+	return adal.FileInfo{Path: path, Size: info.Size, ModTime: info.Modified}, nil
+}
+
+// List implements adal.Backend.
+func (b *Backend) List(prefix string) ([]adal.FileInfo, error) {
+	infos, err := b.store.List(b.bucket, ListOptions{Prefix: key(prefix)})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]adal.FileInfo, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, adal.FileInfo{
+			Path:    "/" + info.Key,
+			Size:    info.Size,
+			ModTime: info.Modified,
+		})
+	}
+	return out, nil
+}
+
+// Remove implements adal.Backend.
+func (b *Backend) Remove(path string) error {
+	err := b.store.Delete(b.bucket, key(path))
+	if errors.Is(err, ErrNoObject) {
+		return fmt.Errorf("%w: %s:%s", adal.ErrNotFound, b.name, path)
+	}
+	return err
+}

@@ -1,0 +1,323 @@
+// Package objectstore implements the "Object Storage" item of the
+// paper's outlook (slide 14: "investigate and deploy new
+// technologies"). It is an S3-generation object store: buckets hold
+// immutable versioned objects addressed by key, writes return ETags
+// (content hashes), and listing supports prefix and start-after
+// pagination. An adapter exposes buckets through the ADAL Backend
+// contract so object storage slots into the existing federation
+// exactly as the paper intends new technologies to.
+package objectstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Errors reported by store operations.
+var (
+	ErrNoBucket     = errors.New("objectstore: no such bucket")
+	ErrBucketExists = errors.New("objectstore: bucket exists")
+	ErrNoObject     = errors.New("objectstore: no such object")
+	ErrNoVersion    = errors.New("objectstore: no such version")
+	ErrBadETag      = errors.New("objectstore: etag precondition failed")
+)
+
+// ObjectInfo describes one (version of an) object.
+type ObjectInfo struct {
+	Bucket   string
+	Key      string
+	Size     units.Bytes
+	ETag     string // hex SHA-256 of the content
+	Version  int    // 1-based, newest = highest
+	Modified time.Time
+	Latest   bool
+}
+
+type object struct {
+	versions []*version // oldest first
+}
+
+type version struct {
+	data     []byte
+	etag     string
+	modified time.Time
+}
+
+type bucket struct {
+	name    string
+	objects map[string]*object
+	created time.Time
+}
+
+// Store is the object store. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	buckets map[string]*bucket
+	clock   func() time.Time
+	// Versioning keeps every overwrite; with it off, puts replace.
+	versioned bool
+}
+
+// New creates a store. versioned enables S3-style object versioning.
+func New(versioned bool) *Store {
+	return &Store{
+		buckets:   make(map[string]*bucket),
+		clock:     time.Now,
+		versioned: versioned,
+	}
+}
+
+// SetClock injects a timestamp source.
+func (s *Store) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clock
+}
+
+// CreateBucket makes a bucket.
+func (s *Store) CreateBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return fmt.Errorf("%w: %q", ErrBucketExists, name)
+	}
+	s.buckets[name] = &bucket{
+		name:    name,
+		objects: make(map[string]*object),
+		created: s.clock(),
+	}
+	return nil
+}
+
+// Buckets lists bucket names, sorted.
+func (s *Store) Buckets() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.buckets))
+	for name := range s.buckets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteBucket removes an empty bucket.
+func (s *Store) DeleteBucket(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoBucket, name)
+	}
+	if len(b.objects) > 0 {
+		return fmt.Errorf("objectstore: bucket %q not empty", name)
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// Put stores content under key, returning the new version's info.
+func (s *Store) Put(bucketName, key string, r io.Reader) (ObjectInfo, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ObjectInfo{}, fmt.Errorf("objectstore: reading content: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	etag := hex.EncodeToString(sum[:])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	obj := b.objects[key]
+	if obj == nil {
+		obj = &object{}
+		b.objects[key] = obj
+	}
+	v := &version{data: data, etag: etag, modified: s.clock()}
+	if s.versioned || len(obj.versions) == 0 {
+		obj.versions = append(obj.versions, v)
+	} else {
+		obj.versions[len(obj.versions)-1] = v
+	}
+	return s.infoLocked(bucketName, key, obj, len(obj.versions)), nil
+}
+
+// PutIf stores content only when the current latest ETag matches
+// ifMatch (optimistic concurrency; "" means the object must not
+// exist yet).
+func (s *Store) PutIf(bucketName, key, ifMatch string, r io.Reader) (ObjectInfo, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return ObjectInfo{}, err
+	}
+	sum := sha256.Sum256(data)
+	etag := hex.EncodeToString(sum[:])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	obj := b.objects[key]
+	current := ""
+	if obj != nil && len(obj.versions) > 0 {
+		current = obj.versions[len(obj.versions)-1].etag
+	}
+	if current != ifMatch {
+		return ObjectInfo{}, fmt.Errorf("%w: have %q, want %q", ErrBadETag, current, ifMatch)
+	}
+	if obj == nil {
+		obj = &object{}
+		b.objects[key] = obj
+	}
+	v := &version{data: data, etag: etag, modified: s.clock()}
+	if s.versioned || len(obj.versions) == 0 {
+		obj.versions = append(obj.versions, v)
+	} else {
+		obj.versions[len(obj.versions)-1] = v
+	}
+	return s.infoLocked(bucketName, key, obj, len(obj.versions)), nil
+}
+
+func (s *Store) infoLocked(bucketName, key string, obj *object, versionNo int) ObjectInfo {
+	v := obj.versions[versionNo-1]
+	return ObjectInfo{
+		Bucket:   bucketName,
+		Key:      key,
+		Size:     units.Bytes(len(v.data)),
+		ETag:     v.etag,
+		Version:  versionNo,
+		Modified: v.modified,
+		Latest:   versionNo == len(obj.versions),
+	}
+}
+
+// Get returns the latest version's content.
+func (s *Store) Get(bucketName, key string) (io.ReadCloser, ObjectInfo, error) {
+	return s.GetVersion(bucketName, key, 0)
+}
+
+// GetVersion returns a specific version (0 = latest).
+func (s *Store) GetVersion(bucketName, key string, versionNo int) (io.ReadCloser, ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, ObjectInfo{}, fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	obj, ok := b.objects[key]
+	if !ok || len(obj.versions) == 0 {
+		return nil, ObjectInfo{}, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	if versionNo == 0 {
+		versionNo = len(obj.versions)
+	}
+	if versionNo < 1 || versionNo > len(obj.versions) {
+		return nil, ObjectInfo{}, fmt.Errorf("%w: %s/%s v%d", ErrNoVersion, bucketName, key, versionNo)
+	}
+	info := s.infoLocked(bucketName, key, obj, versionNo)
+	data := obj.versions[versionNo-1].data
+	return io.NopCloser(bytes.NewReader(data)), info, nil
+}
+
+// Head returns the latest version's info without content.
+func (s *Store) Head(bucketName, key string) (ObjectInfo, error) {
+	_, info, err := s.Get(bucketName, key)
+	return info, err
+}
+
+// Versions lists every version of a key, oldest first.
+func (s *Store) Versions(bucketName, key string) ([]ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	obj, ok := b.objects[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	out := make([]ObjectInfo, len(obj.versions))
+	for i := range obj.versions {
+		out[i] = s.infoLocked(bucketName, key, obj, i+1)
+	}
+	return out, nil
+}
+
+// ListOptions paginates List.
+type ListOptions struct {
+	Prefix     string
+	StartAfter string // exclusive start key
+	Max        int    // 0 = unlimited
+}
+
+// List returns latest-version infos for keys in a bucket, sorted.
+func (s *Store) List(bucketName string, opts ListOptions) ([]ObjectInfo, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	keys := make([]string, 0, len(b.objects))
+	for k := range b.objects {
+		if strings.HasPrefix(k, opts.Prefix) && k > opts.StartAfter {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if opts.Max > 0 && len(keys) > opts.Max {
+		keys = keys[:opts.Max]
+	}
+	out := make([]ObjectInfo, 0, len(keys))
+	for _, k := range keys {
+		obj := b.objects[k]
+		out = append(out, s.infoLocked(bucketName, k, obj, len(obj.versions)))
+	}
+	return out, nil
+}
+
+// Delete removes an object and all its versions.
+func (s *Store) Delete(bucketName, key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoBucket, bucketName)
+	}
+	if _, ok := b.objects[key]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNoObject, bucketName, key)
+	}
+	delete(b.objects, key)
+	return nil
+}
+
+// TotalBytes returns the stored volume across all versions.
+func (s *Store) TotalBytes() units.Bytes {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n units.Bytes
+	for _, b := range s.buckets {
+		for _, obj := range b.objects {
+			for _, v := range obj.versions {
+				n += units.Bytes(len(v.data))
+			}
+		}
+	}
+	return n
+}

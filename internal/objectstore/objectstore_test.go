@@ -1,0 +1,330 @@
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adal"
+)
+
+func TestBucketLifecycle(t *testing.T) {
+	s := New(false)
+	if err := s.CreateBucket("exp"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateBucket("exp"); !errors.Is(err, ErrBucketExists) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := s.Buckets(); len(got) != 1 || got[0] != "exp" {
+		t.Fatalf("buckets = %v", got)
+	}
+	if _, err := s.Put("ghost", "k", strings.NewReader("x")); !errors.Is(err, ErrNoBucket) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.DeleteBucket("exp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("exp", "k", strings.NewReader("x")); !errors.Is(err, ErrNoBucket) {
+		t.Fatal("bucket survived delete")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New(false)
+	if err := s.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Put("b", "runs/001.dat", strings.NewReader("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 7 || len(info.ETag) != 64 || !info.Latest {
+		t.Fatalf("info = %+v", info)
+	}
+	r, got, err := s.Get("b", "runs/001.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "payload" || got.ETag != info.ETag {
+		t.Fatalf("read %q etag %s", data, got.ETag)
+	}
+	if _, _, err := s.Get("b", "nope"); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnversionedOverwrites(t *testing.T) {
+	s := New(false)
+	s.CreateBucket("b")
+	if _, err := s.Put("b", "k", strings.NewReader("one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", "k", strings.NewReader("two")); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := s.Versions("b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 {
+		t.Fatalf("versions = %d, want 1 (unversioned)", len(vs))
+	}
+	r, _, _ := s.Get("b", "k")
+	data, _ := io.ReadAll(r)
+	if string(data) != "two" {
+		t.Fatalf("content = %q", data)
+	}
+}
+
+func TestVersioning(t *testing.T) {
+	s := New(true)
+	s.CreateBucket("b")
+	for i := 1; i <= 3; i++ {
+		if _, err := s.Put("b", "k", strings.NewReader(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs, err := s.Versions("b", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || !vs[2].Latest || vs[0].Latest {
+		t.Fatalf("versions = %+v", vs)
+	}
+	// Old version retrievable.
+	r, info, err := s.GetVersion("b", "k", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	if string(data) != "v1" || info.Version != 1 {
+		t.Fatalf("v1 = %q %+v", data, info)
+	}
+	if _, _, err := s.GetVersion("b", "k", 9); !errors.Is(err, ErrNoVersion) {
+		t.Fatalf("err = %v", err)
+	}
+	// Latest via Get.
+	r2, _, _ := s.Get("b", "k")
+	data, _ = io.ReadAll(r2)
+	if string(data) != "v3" {
+		t.Fatalf("latest = %q", data)
+	}
+}
+
+func TestPutIfPreconditions(t *testing.T) {
+	s := New(true)
+	s.CreateBucket("b")
+	// Create-new with empty precondition.
+	info, err := s.PutIf("b", "k", "", strings.NewReader("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong etag rejected.
+	if _, err := s.PutIf("b", "k", "bogus", strings.NewReader("x")); !errors.Is(err, ErrBadETag) {
+		t.Fatalf("err = %v", err)
+	}
+	// Matching etag accepted.
+	if _, err := s.PutIf("b", "k", info.ETag, strings.NewReader("next")); err != nil {
+		t.Fatal(err)
+	}
+	// Create-new on existing rejected.
+	if _, err := s.PutIf("b", "k", "", strings.NewReader("x")); !errors.Is(err, ErrBadETag) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestListPagination(t *testing.T) {
+	s := New(false)
+	s.CreateBucket("b")
+	for i := 0; i < 10; i++ {
+		if _, err := s.Put("b", fmt.Sprintf("runs/%03d", i), strings.NewReader("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Put("b", "other/1", strings.NewReader("x"))
+
+	page1, err := s.List("b", ListOptions{Prefix: "runs/", Max: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1) != 4 || page1[0].Key != "runs/000" {
+		t.Fatalf("page1 = %+v", page1)
+	}
+	page2, err := s.List("b", ListOptions{Prefix: "runs/", StartAfter: page1[3].Key, Max: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page2) != 4 || page2[0].Key != "runs/004" {
+		t.Fatalf("page2 = %+v", page2)
+	}
+	all, _ := s.List("b", ListOptions{})
+	if len(all) != 11 {
+		t.Fatalf("all = %d", len(all))
+	}
+}
+
+func TestDeleteObject(t *testing.T) {
+	s := New(true)
+	s.CreateBucket("b")
+	s.Put("b", "k", strings.NewReader("x"))
+	if err := s.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("b", "k"); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.DeleteBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPuts(t *testing.T) {
+	s := New(true)
+	s.CreateBucket("b")
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := s.Put("b", fmt.Sprintf("k%02d", i), strings.NewReader(fmt.Sprint(i))); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	all, _ := s.List("b", ListOptions{})
+	if len(all) != 32 {
+		t.Fatalf("objects = %d", len(all))
+	}
+}
+
+// Property: ETags are content-determined — equal content equal etag,
+// distinct content distinct etag (modulo SHA-256 collisions), and
+// round trips preserve bytes.
+func TestETagPropertyQuick(t *testing.T) {
+	s := New(true)
+	s.CreateBucket("q")
+	i := 0
+	f := func(a, b []byte) bool {
+		i++
+		ka := fmt.Sprintf("a%06d", i)
+		kb := fmt.Sprintf("b%06d", i)
+		ia, err := s.Put("q", ka, strings.NewReader(string(a)))
+		if err != nil {
+			return false
+		}
+		ib, err := s.Put("q", kb, strings.NewReader(string(b)))
+		if err != nil {
+			return false
+		}
+		same := string(a) == string(b)
+		if same != (ia.ETag == ib.ETag) {
+			return false
+		}
+		r, _, err := s.Get("q", ka)
+		if err != nil {
+			return false
+		}
+		got, _ := io.ReadAll(r)
+		return string(got) == string(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestADALAdapterContract(t *testing.T) {
+	s := New(false)
+	if err := s.CreateBucket("lsdf"); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend("s3", s, "lsdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same contract exercise as the adal backends.
+	w, err := b.Create("/a/one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.WriteString(w, "payload-1")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Create("/a/one"); !errors.Is(err, adal.ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	r, err := b.Open("/a/one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(r)
+	r.Close()
+	if string(data) != "payload-1" {
+		t.Fatalf("read = %q", data)
+	}
+	info, err := b.Stat("/a/one")
+	if err != nil || info.Size != 9 {
+		t.Fatalf("stat = %+v err=%v", info, err)
+	}
+	if _, err := b.Open("/ghost"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	list, err := b.List("/a")
+	if err != nil || len(list) != 1 || list[0].Path != "/a/one" {
+		t.Fatalf("list = %+v err=%v", list, err)
+	}
+	if err := b.Remove("/a/one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Remove("/a/one"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestObjectStoreInFederation(t *testing.T) {
+	// The outlook's promise: object storage mounts next to everything
+	// else and the DataBrowser-facing layer cannot tell the difference.
+	s := New(true)
+	s.CreateBucket("archive")
+	osb, err := NewBackend("s3", s, "archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	layer := adal.NewLayer()
+	if err := layer.Mount("/hot", adal.NewMemFS("hot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := layer.Mount("/objects", osb); err != nil {
+		t.Fatal(err)
+	}
+	n, sum, err := layer.WriteChecksummed("/objects/run1", strings.NewReader("archive me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Fatalf("n = %d", n)
+	}
+	again, err := layer.Checksum("/objects/run1")
+	if err != nil || again != sum {
+		t.Fatalf("checksum mismatch: %v", err)
+	}
+	// Cross-mount replication memfs -> object store.
+	w, _ := layer.Create("/hot/x")
+	io.WriteString(w, "hot data")
+	w.Close()
+	if err := layer.CopyObject("/hot/x", "/objects/x"); err != nil {
+		t.Fatal(err)
+	}
+	head, err := s.Head("archive", "x")
+	if err != nil || head.Size != 8 {
+		t.Fatalf("replica = %+v err=%v", head, err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package rules is the policy-driven data management layer the paper
+// lists in its outlook (slide 14: "Data management system iRODS
+// (ongoing)"). Like iRODS micro-services, a rule binds an event, a
+// condition over the dataset, and a chain of actions; the engine
+// subscribes to the metadata store and executes matching rules as
+// data is created, tagged or processed.
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+)
+
+// On selects the metadata event a rule fires for.
+type On int
+
+// Rule trigger events.
+const (
+	OnCreate On = iota
+	OnTag
+	OnProcessing
+)
+
+// String implements fmt.Stringer.
+func (o On) String() string {
+	switch o {
+	case OnCreate:
+		return "on-create"
+	case OnTag:
+		return "on-tag"
+	case OnProcessing:
+		return "on-processing"
+	}
+	return fmt.Sprintf("on(%d)", int(o))
+}
+
+// Condition filters datasets. A nil condition matches everything.
+type Condition func(ds metadata.Dataset) bool
+
+// ProjectIs matches datasets of one project.
+func ProjectIs(project string) Condition {
+	return func(ds metadata.Dataset) bool { return ds.Project == project }
+}
+
+// HasTag matches datasets carrying a tag.
+func HasTag(tag string) Condition {
+	return func(ds metadata.Dataset) bool { return ds.HasTag(tag) }
+}
+
+// LargerThan matches datasets above a size.
+func LargerThan(bytes int64) Condition {
+	return func(ds metadata.Dataset) bool { return int64(ds.Size) > bytes }
+}
+
+// And combines conditions conjunctively.
+func And(cs ...Condition) Condition {
+	return func(ds metadata.Dataset) bool {
+		for _, c := range cs {
+			if c != nil && !c(ds) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Context hands facility services to actions.
+type Context struct {
+	Layer *adal.Layer
+	Meta  *metadata.Store
+}
+
+// Action is one micro-service step.
+type Action interface {
+	// Name identifies the action in audit records.
+	Name() string
+	// Apply performs the action for a dataset.
+	Apply(ctx *Context, ds metadata.Dataset) error
+}
+
+// ActionFunc adapts a function to Action.
+type ActionFunc struct {
+	Label string
+	Fn    func(ctx *Context, ds metadata.Dataset) error
+}
+
+// Name implements Action.
+func (a ActionFunc) Name() string { return a.Label }
+
+// Apply implements Action.
+func (a ActionFunc) Apply(ctx *Context, ds metadata.Dataset) error { return a.Fn(ctx, ds) }
+
+// Replicate copies the dataset's object from its mount into dstPrefix
+// (e.g. "/replica"), preserving the relative path, and tags the
+// dataset with "replicated".
+func Replicate(dstPrefix string) Action {
+	return ActionFunc{
+		Label: "replicate->" + dstPrefix,
+		Fn: func(ctx *Context, ds metadata.Dataset) error {
+			dst := dstPrefix + ds.Path
+			if err := ctx.Layer.CopyObject(ds.Path, dst); err != nil {
+				return err
+			}
+			return ctx.Meta.Tag(ds.ID, "replicated")
+		},
+	}
+}
+
+// VerifyChecksum recomputes the object checksum and compares it with
+// the registered one, tagging "corrupt" on mismatch.
+func VerifyChecksum() Action {
+	return ActionFunc{
+		Label: "verify-checksum",
+		Fn: func(ctx *Context, ds metadata.Dataset) error {
+			sum, err := ctx.Layer.Checksum(ds.Path)
+			if err != nil {
+				return err
+			}
+			if ds.Checksum != "" && sum != ds.Checksum {
+				if terr := ctx.Meta.Tag(ds.ID, "corrupt"); terr != nil {
+					return terr
+				}
+				return fmt.Errorf("rules: checksum mismatch for %s", ds.Path)
+			}
+			return ctx.Meta.Tag(ds.ID, "verified")
+		},
+	}
+}
+
+// AddTag tags the dataset.
+func AddTag(tag string) Action {
+	return ActionFunc{
+		Label: "add-tag:" + tag,
+		Fn: func(ctx *Context, ds metadata.Dataset) error {
+			return ctx.Meta.Tag(ds.ID, tag)
+		},
+	}
+}
+
+// Rule is an event-condition-action triple.
+type Rule struct {
+	Name      string
+	Event     On
+	Tag       string // for OnTag: the tag that fires the rule ("" = any)
+	Condition Condition
+	Actions   []Action
+}
+
+// AuditEntry records one rule execution.
+type AuditEntry struct {
+	Rule      string
+	Action    string
+	DatasetID string
+	Path      string
+	Err       error
+	At        time.Time
+}
+
+// Engine evaluates rules against metadata events.
+type Engine struct {
+	ctx   *Context
+	mu    sync.Mutex
+	rules []Rule
+	audit []AuditEntry
+	unsub func()
+	// depth guards against rule cascades that never terminate (a rule
+	// tagging a dataset can fire further rules).
+	maxDepth int
+	depth    map[string]int
+}
+
+// ErrCascade is recorded when rule recursion exceeds the depth bound.
+var ErrCascade = errors.New("rules: cascade depth exceeded")
+
+// NewEngine attaches a rule engine to the facility services.
+func NewEngine(layer *adal.Layer, meta *metadata.Store) *Engine {
+	e := &Engine{
+		ctx:      &Context{Layer: layer, Meta: meta},
+		maxDepth: 8,
+		depth:    make(map[string]int),
+	}
+	e.unsub = meta.Subscribe(e.onEvent)
+	return e
+}
+
+// Close detaches the engine from the store.
+func (e *Engine) Close() {
+	if e.unsub != nil {
+		e.unsub()
+		e.unsub = nil
+	}
+}
+
+// Add registers a rule.
+func (e *Engine) Add(r Rule) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = append(e.rules, r)
+}
+
+// Audit returns a copy of the audit log.
+func (e *Engine) Audit() []AuditEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]AuditEntry(nil), e.audit...)
+}
+
+func (e *Engine) onEvent(ev metadata.Event) {
+	var on On
+	switch ev.Type {
+	case metadata.EventCreated:
+		on = OnCreate
+	case metadata.EventTagged:
+		on = OnTag
+	case metadata.EventProcessingAdded:
+		on = OnProcessing
+	default:
+		return
+	}
+	e.mu.Lock()
+	matched := make([]Rule, 0, len(e.rules))
+	for _, r := range e.rules {
+		if r.Event != on {
+			continue
+		}
+		if on == OnTag && r.Tag != "" && r.Tag != ev.Tag {
+			continue
+		}
+		if r.Condition != nil && !r.Condition(ev.Dataset) {
+			continue
+		}
+		matched = append(matched, r)
+	}
+	if len(matched) > 0 {
+		e.depth[ev.Dataset.ID]++
+		if e.depth[ev.Dataset.ID] > e.maxDepth {
+			e.audit = append(e.audit, AuditEntry{
+				Rule: matched[0].Name, DatasetID: ev.Dataset.ID,
+				Path: ev.Dataset.Path, Err: ErrCascade, At: time.Now(),
+			})
+			e.depth[ev.Dataset.ID]--
+			e.mu.Unlock()
+			return
+		}
+	}
+	e.mu.Unlock()
+
+	for _, r := range matched {
+		for _, a := range r.Actions {
+			err := a.Apply(e.ctx, ev.Dataset)
+			e.mu.Lock()
+			e.audit = append(e.audit, AuditEntry{
+				Rule: r.Name, Action: a.Name(), DatasetID: ev.Dataset.ID,
+				Path: ev.Dataset.Path, Err: err, At: time.Now(),
+			})
+			e.mu.Unlock()
+			if err != nil {
+				break // remaining actions of this rule are skipped
+			}
+		}
+	}
+	if len(matched) > 0 {
+		e.mu.Lock()
+		e.depth[ev.Dataset.ID]--
+		e.mu.Unlock()
+	}
+}

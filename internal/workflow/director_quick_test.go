@@ -1,0 +1,87 @@
+package workflow
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// buildRandomDAG constructs an acyclic workflow: node i may depend on
+// any subset of nodes 0..i-1, chosen from the seed bits. Each actor
+// emits its own name mapped to the sorted count of its visible inputs,
+// so outputs are a pure function of the DAG shape.
+func buildRandomDAG(seed uint64, n int) *Workflow {
+	w := New("random")
+	for i := 0; i < n; i++ {
+		var deps []string
+		for j := 0; j < i; j++ {
+			if (seed>>(uint(i*7+j)%63))&1 == 1 {
+				deps = append(deps, nodeName(j))
+			}
+		}
+		name := nodeName(i)
+		w.MustAddNode(name, ActorFunc(func(_ *Context, in Values) (Values, error) {
+			return Values{name: fmt.Sprint(len(in))}, nil
+		}), deps...)
+	}
+	return w
+}
+
+func nodeName(i int) string { return fmt.Sprintf("n%02d", i) }
+
+// Property: the parallel director produces exactly the sequential
+// director's outputs for any DAG — scheduling must never change
+// results.
+func TestDirectorEquivalenceQuick(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%8) + 1
+		seqOut, err := SequentialDirector{}.Run(buildRandomDAG(seed, n), &Context{}, Values{"init": "x"})
+		if err != nil {
+			return false
+		}
+		parOut, err := (ParallelDirector{MaxParallel: 3}).Run(buildRandomDAG(seed, n), &Context{}, Values{"init": "x"})
+		if err != nil {
+			return false
+		}
+		if len(seqOut) != len(parOut) {
+			return false
+		}
+		for k, v := range seqOut {
+			if parOut[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: validation accepts every DAG built by construction and
+// returns a true topological order (deps precede dependents).
+func TestValidateTopologicalQuick(t *testing.T) {
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%10) + 1
+		w := buildRandomDAG(seed, n)
+		topo, err := w.Validate()
+		if err != nil || len(topo) != n {
+			return false
+		}
+		pos := make(map[string]int, n)
+		for i, name := range topo {
+			pos[name] = i
+		}
+		for name, node := range w.nodes {
+			for _, dep := range node.deps {
+				if pos[dep] >= pos[name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package workflow
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+)
+
+// Trigger binds a tag to a workflow: tagging any dataset with Tag
+// runs Workflow on it (slide 12: "allow tagging data and triggering
+// execution via DataBrowser").
+type Trigger struct {
+	Tag      string
+	Workflow *Workflow
+	Director Director // nil = SequentialDirector
+	Retries  int      // re-execute a failed run up to this many times
+}
+
+// RunRecord describes one completed (or failed) triggered run.
+type RunRecord struct {
+	Workflow  string
+	DatasetID string
+	Tag       string
+	Err       error
+	Attempts  int
+	Started   time.Time
+	Finished  time.Time
+	Outputs   Values
+}
+
+// Orchestrator subscribes to the metadata store and dispatches
+// triggered workflow runs. Runs execute synchronously on the tagging
+// goroutine by default, or on a worker pool when Async is set.
+type Orchestrator struct {
+	layer *adal.Layer
+	meta  *metadata.Store
+
+	mu       sync.Mutex
+	triggers map[string][]Trigger
+	history  []RunRecord
+	unsub    func()
+
+	async chan func()
+	wg    sync.WaitGroup
+}
+
+// NewOrchestrator creates an orchestrator over facility services.
+// asyncWorkers > 0 runs triggered workflows on that many background
+// workers; 0 runs them inline with the Tag call.
+func NewOrchestrator(layer *adal.Layer, meta *metadata.Store, asyncWorkers int) *Orchestrator {
+	o := &Orchestrator{
+		layer:    layer,
+		meta:     meta,
+		triggers: make(map[string][]Trigger),
+	}
+	if asyncWorkers > 0 {
+		o.async = make(chan func(), 1024)
+		for i := 0; i < asyncWorkers; i++ {
+			o.wg.Add(1)
+			go func() {
+				defer o.wg.Done()
+				for fn := range o.async {
+					fn()
+				}
+			}()
+		}
+	}
+	o.unsub = meta.Subscribe(o.onEvent)
+	return o
+}
+
+// Close detaches from the store and drains async workers.
+func (o *Orchestrator) Close() {
+	if o.unsub != nil {
+		o.unsub()
+		o.unsub = nil
+	}
+	if o.async != nil {
+		close(o.async)
+		o.wg.Wait()
+		o.async = nil
+	}
+}
+
+// AddTrigger registers a tag-triggered workflow.
+func (o *Orchestrator) AddTrigger(t Trigger) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.triggers[t.Tag] = append(o.triggers[t.Tag], t)
+}
+
+// History returns a copy of all run records so far.
+func (o *Orchestrator) History() []RunRecord {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]RunRecord(nil), o.history...)
+}
+
+func (o *Orchestrator) onEvent(ev metadata.Event) {
+	if ev.Type != metadata.EventTagged {
+		return
+	}
+	o.mu.Lock()
+	matched := append([]Trigger(nil), o.triggers[ev.Tag]...)
+	o.mu.Unlock()
+	for _, t := range matched {
+		t := t
+		ds := ev.Dataset
+		run := func() { o.runTriggered(t, ds, ev.Tag) }
+		if o.async != nil {
+			o.async <- run
+		} else {
+			run()
+		}
+	}
+}
+
+// runTriggered executes one workflow against a dataset and writes the
+// provenance record back into the metadata DB.
+func (o *Orchestrator) runTriggered(t Trigger, ds metadata.Dataset, tag string) {
+	director := t.Director
+	if director == nil {
+		director = SequentialDirector{}
+	}
+	rec := RunRecord{
+		Workflow:  t.Workflow.Name,
+		DatasetID: ds.ID,
+		Tag:       tag,
+		Started:   time.Now(),
+	}
+	ctx := &Context{Layer: o.layer, Meta: o.meta, Dataset: ds}
+	var out Values
+	var err error
+	for attempt := 0; attempt <= t.Retries; attempt++ {
+		rec.Attempts = attempt + 1
+		out, err = director.Run(t.Workflow, ctx, Values{
+			"dataset.id":   ds.ID,
+			"dataset.path": ds.Path,
+		})
+		if err == nil {
+			break
+		}
+	}
+	rec.Finished = time.Now()
+	rec.Err = err
+	rec.Outputs = out
+
+	// Provenance: the paper's METADATA-N block for this pass.
+	results := map[string]string{}
+	var outputs []string
+	status := "ok"
+	if err != nil {
+		status = "error"
+		results["error"] = err.Error()
+	}
+	results["status"] = status
+	for k, v := range out {
+		if s, ok := v.(string); ok {
+			if k == "output.path" {
+				outputs = append(outputs, s)
+				continue
+			}
+			results[k] = s
+		}
+	}
+	if _, perr := o.meta.AddProcessing(ds.ID, metadata.Processing{
+		Tool:       "workflow:" + t.Workflow.Name,
+		Params:     map[string]string{"trigger": tag},
+		StartedAt:  rec.Started,
+		FinishedAt: rec.Finished,
+		Results:    results,
+		Outputs:    outputs,
+	}); perr != nil && rec.Err == nil {
+		rec.Err = fmt.Errorf("workflow: provenance: %w", perr)
+	}
+	// Record the run before setting the completion tag: the tag may
+	// synchronously trigger chained workflows, and history must list
+	// causes before effects.
+	o.mu.Lock()
+	o.history = append(o.history, rec)
+	o.mu.Unlock()
+	if err == nil {
+		// Mark completion so users and rules can find processed data.
+		_ = o.meta.Tag(ds.ID, "processed:"+t.Workflow.Name)
+	}
+}

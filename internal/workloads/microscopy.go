@@ -1,0 +1,174 @@
+// Package workloads generates the scientific data streams the paper
+// names: zebrafish high-throughput microscopy (slide 5), DNA
+// sequencing reads and 3D biomedical volumes (slide 13), KATRIN event
+// data and climate grids (slide 14). All generators are deterministic
+// for a seed, so experiments replay identically.
+package workloads
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ingest"
+	"repro/internal/units"
+)
+
+// MicroscopyConfig describes a high-throughput microscopy campaign at
+// the Institute of Toxicology and Genetics: robots move samples under
+// automated microscopes, producing high-resolution images over
+// varying parameters (focus point, wavelength, ...) — 24 images per
+// fish, 4 MB each, ≈200k images/day.
+type MicroscopyConfig struct {
+	Project       string
+	PathPrefix    string // federated prefix for stored images
+	Plates        int
+	WellsPerPlate int         // 96-well plates
+	FishPerWell   int         // embryos per well
+	ImagesPerFish int         // paper: 24
+	ImageSize     units.Bytes // paper: 4 MB
+	Channels      []string    // wavelengths
+	Seed          int64
+}
+
+// DefaultMicroscopy returns the paper's parameters (one plate by
+// default; callers scale Plates for volume).
+func DefaultMicroscopy() MicroscopyConfig {
+	return MicroscopyConfig{
+		Project:       "zebrafish",
+		PathPrefix:    "/ddn/itg",
+		Plates:        1,
+		WellsPerPlate: 96,
+		FishPerWell:   1,
+		ImagesPerFish: 24,
+		ImageSize:     4 * units.MB,
+		Channels:      []string{"488nm", "561nm"},
+		Seed:          1,
+	}
+}
+
+// TotalImages returns the number of images a campaign produces.
+func (c MicroscopyConfig) TotalImages() int {
+	n := c.Plates * c.WellsPerPlate * c.FishPerWell * c.ImagesPerFish
+	if len(c.Channels) > 0 {
+		n *= len(c.Channels)
+	}
+	return n
+}
+
+// TotalBytes returns the campaign's raw volume.
+func (c MicroscopyConfig) TotalBytes() units.Bytes {
+	return units.Bytes(c.TotalImages()) * c.ImageSize
+}
+
+// MicroscopyProducer yields one ingest object per image, in plate /
+// well / fish / image / channel order. It implements ingest.Producer.
+type MicroscopyProducer struct {
+	cfg   MicroscopyConfig
+	plate int
+	well  int
+	fish  int
+	img   int
+	chn   int
+}
+
+// NewMicroscopy creates a producer for a campaign.
+func NewMicroscopy(cfg MicroscopyConfig) *MicroscopyProducer {
+	if len(cfg.Channels) == 0 {
+		cfg.Channels = []string{"488nm"}
+	}
+	return &MicroscopyProducer{cfg: cfg}
+}
+
+// Next implements ingest.Producer.
+func (m *MicroscopyProducer) Next() (*ingest.Object, error) {
+	c := m.cfg
+	if m.plate >= c.Plates {
+		return nil, io.EOF
+	}
+	path := fmt.Sprintf("%s/plate%03d/well%02d/fish%d/img%02d_%s.raw",
+		c.PathPrefix, m.plate, m.well, m.fish, m.img, c.Channels[m.chn])
+	seed := c.Seed ^ int64(m.plate)<<40 ^ int64(m.well)<<28 ^
+		int64(m.fish)<<20 ^ int64(m.img)<<8 ^ int64(m.chn)
+	obj := &ingest.Object{
+		Project: c.Project,
+		Path:    path,
+		Data:    NewFrameReader(int64(c.ImageSize), seed),
+		Basic: map[string]string{
+			"plate":      fmt.Sprintf("%03d", m.plate),
+			"well":       fmt.Sprintf("%02d", m.well),
+			"fish":       fmt.Sprint(m.fish),
+			"image":      fmt.Sprintf("%02d", m.img),
+			"wavelength": c.Channels[m.chn],
+			"instrument": "htm-olympus-01",
+		},
+		Tags: []string{"raw", "microscopy"},
+	}
+	// Advance odometer: channel, image, fish, well, plate.
+	m.chn++
+	if m.chn >= len(c.Channels) {
+		m.chn = 0
+		m.img++
+	}
+	if m.img >= c.ImagesPerFish {
+		m.img = 0
+		m.fish++
+	}
+	if m.fish >= c.FishPerWell {
+		m.fish = 0
+		m.well++
+	}
+	if m.well >= c.WellsPerPlate {
+		m.well = 0
+		m.plate++
+	}
+	return obj, nil
+}
+
+// FrameReader streams deterministic pseudo-image bytes without
+// holding the frame in memory: a 4 MB microscope frame costs no
+// allocation beyond the reader. The generator is xorshift64*, cheap
+// enough that ingest benchmarks measure the pipeline, not the source.
+// The byte stream is a pure function of (seed, position): chunked
+// reads see identical content regardless of buffer sizes.
+type FrameReader struct {
+	remaining int64
+	state     uint64
+	word      [8]byte
+	wordPos   int // 8 = word exhausted, generate the next
+}
+
+// NewFrameReader creates a reader of n pseudo-random bytes.
+func NewFrameReader(n int64, seed int64) *FrameReader {
+	s := uint64(seed)
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	return &FrameReader{remaining: n, state: s, wordPos: 8}
+}
+
+// Read implements io.Reader.
+func (f *FrameReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if int64(n) > f.remaining {
+		n = int(f.remaining)
+	}
+	for i := 0; i < n; i++ {
+		if f.wordPos == 8 {
+			f.state ^= f.state >> 12
+			f.state ^= f.state << 25
+			f.state ^= f.state >> 27
+			v := f.state * 0x2545F4914F6CDD1D
+			for j := 0; j < 8; j++ {
+				f.word[j] = byte(v >> (8 * j))
+			}
+			f.wordPos = 0
+		}
+		p[i] = f.word[f.wordPos]
+		f.wordPos++
+	}
+	f.remaining -= int64(n)
+	return n, nil
+}
