@@ -5,6 +5,14 @@
 // triggered Kepler-style workflows with provenance, policy-driven
 // data management, and MapReduce analysis on the Hadoop cluster.
 //
+// The metadata repository behind the handle is sharded (see
+// internal/metadata): queries fan out over all shards, and the bulk
+// paths (Ingest with a batch size, StoreBatch) register whole groups
+// of datasets with one shard-lock round per shard. Event delivery to
+// workflow triggers and rules is synchronous by default; with
+// Options.AsyncEvents it moves to a background bus, and Flush is the
+// barrier that waits for all deliveries.
+//
 // Downstream users import the repository root (package lsdf), which
 // re-exports this API.
 package core
@@ -63,7 +71,15 @@ func (fc *Facility) Rules() *rules.Engine { return fc.f.Rules }
 // Ingest drains a producer through a checksumming worker pool,
 // storing every object and registering it in the metadata DB.
 func (fc *Facility) Ingest(ctx context.Context, prod ingest.Producer, workers int) (ingest.Stats, error) {
-	pipe := ingest.New(fc.f.Layer, fc.f.Meta, ingest.Config{Workers: workers})
+	return fc.IngestWith(ctx, prod, ingest.Config{Workers: workers})
+}
+
+// IngestWith is Ingest with full pipeline configuration — batch
+// size, error observer. Config.BatchSize > 1 registers objects
+// through the metadata store's batched API (one shard-lock round
+// per shard).
+func (fc *Facility) IngestWith(ctx context.Context, prod ingest.Producer, cfg ingest.Config) (ingest.Stats, error) {
+	pipe := ingest.New(fc.f.Layer, fc.f.Meta, cfg)
 	return pipe.Run(ctx, prod)
 }
 
@@ -87,6 +103,63 @@ func (fc *Facility) Store(project, path string, data io.Reader, basic map[string
 	out, _ := fc.f.Meta.Get(ds.ID)
 	return out, nil
 }
+
+// StoreBatch writes a group of objects and registers them in one
+// batched metadata round per touched shard. Results are per-item and
+// aligned with the input; a failed item's stored bytes are rolled
+// back so the facility never holds unregistered data. The rollback
+// can never delete another dataset's bytes: Layer.Create fails with
+// ErrExists on an occupied path, so a write that succeeded — the
+// only case that reaches the rollback — was to a previously empty
+// path this call owns.
+func (fc *Facility) StoreBatch(objs []ingest.Object) []metadata.CreateResult {
+	specs := make([]metadata.CreateSpec, len(objs))
+	results := make([]metadata.CreateResult, len(objs))
+	written := make([]bool, len(objs))
+	for i := range objs {
+		n, sum, err := fc.f.Layer.WriteChecksummed(objs[i].Path, objs[i].Data)
+		if err != nil {
+			results[i].Err = err
+			continue
+		}
+		written[i] = true
+		specs[i] = metadata.CreateSpec{
+			Project:  objs[i].Project,
+			Path:     objs[i].Path,
+			Size:     n,
+			Checksum: sum,
+			Basic:    objs[i].Basic,
+			Tags:     objs[i].Tags,
+		}
+	}
+	// Failed writes keep their zero spec; an empty path never collides
+	// with a real claim, but filter them anyway to avoid phantom
+	// datasets.
+	toCreate := make([]metadata.CreateSpec, 0, len(objs))
+	idx := make([]int, 0, len(objs))
+	for i := range specs {
+		if written[i] {
+			toCreate = append(toCreate, specs[i])
+			idx = append(idx, i)
+		}
+	}
+	for j, r := range fc.f.Meta.CreateBatch(toCreate) {
+		i := idx[j]
+		results[i] = r
+		if r.Err != nil {
+			_ = fc.f.Layer.Remove(objs[i].Path)
+		}
+	}
+	return results
+}
+
+// Flush blocks until every metadata event published so far has been
+// delivered to workflow triggers and rules, and until every workflow
+// run the orchestrator handed to its AsyncWorkflows pool has
+// finished. With the default synchronous event mode and no pool it
+// returns immediately; with Options.AsyncEvents (or AsyncWorkflows)
+// it is the barrier to call before inspecting trigger effects.
+func (fc *Facility) Flush() { fc.f.Meta.Flush() }
 
 // Open reads a stored object.
 func (fc *Facility) Open(path string) (io.ReadCloser, error) { return fc.f.Layer.Open(path) }

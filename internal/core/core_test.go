@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
 	"testing"
 
+	"repro/internal/ingest"
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
 	"repro/internal/rules"
@@ -89,6 +91,97 @@ func TestTriggerAndRuleViaFacade(t *testing.T) {
 	got, _ := fc.Metadata().Get(ds.ID)
 	if len(got.Processings) != 1 || got.Processings[0].Results["seen"] != "yes" {
 		t.Fatalf("provenance = %+v", got.Processings)
+	}
+}
+
+// TestAsyncFacilityTriggersAfterFlush: with AsyncEvents the Tag call
+// returns before the workflow runs; Flush is the barrier after which
+// every trigger and its provenance write are visible — including
+// runs handed to the AsyncWorkflows pool, which register with the
+// flush barrier via HoldFlush.
+func TestAsyncFacilityTriggersAfterFlush(t *testing.T) {
+	fc, err := New(Options{AsyncEvents: true, MetadataShards: 4, AsyncWorkflows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	wf := workflow.New("seg")
+	wf.MustAddNode("n", workflow.ActorFunc(func(ctx *workflow.Context, in workflow.Values) (workflow.Values, error) {
+		return workflow.Values{"seen": "yes"}, nil
+	}))
+	fc.AddTrigger(workflow.Trigger{Tag: "analyze", Workflow: wf})
+
+	const n = 20
+	var ids []string
+	for i := 0; i < n; i++ {
+		ds, err := fc.Store("p", fmt.Sprintf("/ddn/a/%03d", i), strings.NewReader("x"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, ds.ID)
+		if err := fc.Tag(ds.Path, "analyze"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fc.Flush()
+	for _, id := range ids {
+		got, _ := fc.Metadata().Get(id)
+		if len(got.Processings) != 1 || got.Processings[0].Results["seen"] != "yes" {
+			t.Fatalf("dataset %s: provenance = %+v", id, got.Processings)
+		}
+		if !got.HasTag("processed:seg") {
+			t.Fatalf("dataset %s missing completion tag", id)
+		}
+	}
+	if got := fc.Query(metadata.Query{Tags: []string{"processed:seg"}}); len(got) != n {
+		t.Fatalf("processed = %d", len(got))
+	}
+}
+
+// TestStoreBatchViaFacade: the batched store path registers, tags,
+// and rolls back a failed item's stored bytes without touching the
+// other items in the batch.
+func TestStoreBatchViaFacade(t *testing.T) {
+	fc, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	// A metadata claim with no stored bytes: the write will succeed
+	// and registration will fail, forcing the rollback branch.
+	if _, err := fc.Metadata().Create("p", "/ddn/claimed", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	objs := []ingest.Object{
+		{Project: "p", Path: "/ddn/b/0", Data: strings.NewReader("aa"), Tags: []string{"raw"}},
+		{Project: "p", Path: "/ddn/claimed", Data: strings.NewReader("orphan")},
+		{Project: "p", Path: "/ddn/b/1", Data: strings.NewReader("bbb")},
+	}
+	res := fc.StoreBatch(objs)
+	for _, i := range []int{0, 2} {
+		if res[i].Err != nil {
+			t.Fatalf("item %d: %v", i, res[i].Err)
+		}
+	}
+	if !errors.Is(res[1].Err, metadata.ErrDuplicate) {
+		t.Fatalf("item 1: err = %v, want ErrDuplicate", res[1].Err)
+	}
+	// The failed item's bytes were rolled back; the good items stayed.
+	if _, err := fc.Open("/ddn/claimed"); err == nil {
+		t.Fatal("orphan bytes not rolled back")
+	}
+	if r, err := fc.Open("/ddn/b/1"); err != nil {
+		t.Fatalf("good item lost: %v", err)
+	} else {
+		r.Close()
+	}
+	if res[0].Dataset.Size != 2 || !res[0].Dataset.HasTag("raw") || res[0].Dataset.Checksum == "" {
+		t.Fatalf("batched dataset = %+v", res[0].Dataset)
+	}
+	if got := fc.Query(metadata.Query{Project: "p"}); len(got) != 3 {
+		t.Fatalf("registered = %d", len(got))
 	}
 }
 

@@ -4,6 +4,14 @@
 // GUI". This implementation provides the browsing/tagging/triggering
 // API, a CLI front end (cmd/databrowser) and a minimal JSON web
 // endpoint standing in for the announced web GUI.
+//
+// The browser is a read-mostly client of the sharded metadata store:
+// List and Stat join storage listings against per-path lookups (one
+// path-shard lock each), and Find fans out across all metadata
+// shards in parallel. Tag is the workflow-trigger entry point; when
+// the store runs its async event bus, Tag returns before the
+// triggered workflows do — callers that need the effects call
+// metadata.Store.Flush.
 package databrowser
 
 import (

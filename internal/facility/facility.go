@@ -4,6 +4,15 @@
 // engine, and the Hadoop analysis cluster — plus discrete-event
 // scenario models for the facility-scale numbers (petabytes, tape,
 // 10 GE) that cannot run for real on a laptop.
+//
+// The metadata DB is sharded (Options.MetadataShards, default 16)
+// and by default delivers mutation events synchronously on the
+// mutating goroutine, which keeps workflow triggers and rules
+// deterministic. Options.AsyncEvents switches delivery to the
+// store's background event bus; after bulk operations call
+// Meta.Flush to wait for trigger/rule quiescence. Close flushes and
+// stops the bus before detaching the orchestrator and rule engine,
+// so no event is lost on shutdown.
 package facility
 
 import (
@@ -37,6 +46,17 @@ type Options struct {
 	Replication int
 	// AsyncWorkflows > 0 runs triggered workflows on that many workers.
 	AsyncWorkflows int
+	// MetadataShards overrides the metadata store's shard count
+	// (default 16; rounded up to a power of two).
+	MetadataShards int
+	// AsyncEvents delivers metadata events through the store's
+	// background bus instead of synchronously on the mutating
+	// goroutine. Deterministic consumers should call Meta.Flush
+	// before inspecting trigger/rule effects.
+	AsyncEvents bool
+	// EventQueue bounds each subscriber's event queue when
+	// AsyncEvents is set (default 256).
+	EventQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -116,7 +136,11 @@ func New(opts Options) (*Facility, error) {
 		}
 	}
 
-	meta := metadata.NewStore()
+	meta := metadata.NewStoreWith(metadata.Options{
+		Shards:   opts.MetadataShards,
+		Async:    opts.AsyncEvents,
+		QueueLen: opts.EventQueue,
+	})
 	f := &Facility{
 		Layer:       layer,
 		Meta:        meta,
@@ -132,8 +156,13 @@ func New(opts Options) (*Facility, error) {
 	return f, nil
 }
 
-// Close releases orchestrator workers and detaches the rule engine.
+// Close drains the metadata event bus, then releases orchestrator
+// workers and detaches the rule engine — in that order, so every
+// event published before Close still reaches its triggers.
 func (f *Facility) Close() {
+	if f.Meta != nil {
+		f.Meta.Close()
+	}
 	if f.Orchestrator != nil {
 		f.Orchestrator.Close()
 	}

@@ -14,14 +14,17 @@ import (
 // BenchmarkPipeline measures the real ingest path — checksum, store,
 // register, tag — per 256 KiB microscope frame.
 func BenchmarkPipeline(b *testing.B) {
-	for _, workers := range []int{1, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+	for _, cfg := range []Config{
+		{Workers: 1}, {Workers: 4}, {Workers: 8},
+		{Workers: 4, BatchSize: 16}, {Workers: 8, BatchSize: 16},
+	} {
+		b.Run(fmt.Sprintf("workers=%d/batch=%d", cfg.Workers, max(cfg.BatchSize, 1)), func(b *testing.B) {
 			layer := adal.NewLayer()
 			if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
 				b.Fatal(err)
 			}
 			meta := metadata.NewStore()
-			p := New(layer, meta, Config{Workers: workers})
+			p := New(layer, meta, cfg)
 			frame := make([]byte, 256*units.KiB)
 			state := uint64(0x9E3779B97F4A7C15)
 			for i := range frame {

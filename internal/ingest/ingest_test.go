@@ -196,6 +196,77 @@ func (f *failingProducer) Next() (*Object, error) {
 	}, nil
 }
 
+func TestBatchedIngestRegistersEverything(t *testing.T) {
+	p, layer, meta := newPipeline(t, Config{Workers: 4, BatchSize: 8})
+	const n = 100
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objects(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != n || stats.Errors != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if meta.Count() != n {
+		t.Fatalf("registered = %d", meta.Count())
+	}
+	for _, ds := range meta.Find(metadata.Query{Project: "zebrafish"}) {
+		if !ds.HasTag("raw") {
+			t.Fatalf("dataset %s missing tag", ds.ID)
+		}
+		sum, err := layer.Checksum(ds.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != ds.Checksum {
+			t.Fatalf("checksum mismatch for %s", ds.Path)
+		}
+	}
+	var want units.Bytes
+	for i := 0; i < n; i++ {
+		want += units.Bytes(1000 + i)
+	}
+	if stats.Bytes != want {
+		t.Fatalf("bytes = %d, want %d", stats.Bytes, want)
+	}
+}
+
+func TestBatchedRegistrationFailureRemovesStoredObject(t *testing.T) {
+	layer := adal.NewLayer()
+	if err := layer.Mount("/", adal.NewMemFS("store")); err != nil {
+		t.Fatal(err)
+	}
+	meta := metadata.NewStore()
+	if _, err := meta.Create("p", "/clash", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	var failed []*Object
+	p := New(layer, meta, Config{Workers: 1, BatchSize: 4,
+		OnError: func(obj *Object, _ error) { failed = append(failed, obj) }})
+	objs := []*Object{
+		{Project: "p", Path: "/ok1", Data: strings.NewReader("a")},
+		{Project: "p", Path: "/clash", Data: strings.NewReader("zzz")},
+		{Project: "p", Path: "/ok2", Data: strings.NewReader("b")},
+	}
+	stats, err := p.Run(context.Background(), &SliceProducer{Objects: objs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 2 || stats.Errors != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(failed) != 1 || failed[0].Path != "/clash" {
+		t.Fatalf("failed = %+v", failed)
+	}
+	// The duplicate's stored bytes are rolled back; the good objects
+	// in the same batch survive.
+	if _, err := layer.Open("/clash"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("orphan not cleaned: %v", err)
+	}
+	if meta.Count() != 3 { // pre-registered /clash + /ok1 + /ok2
+		t.Fatalf("registered = %d", meta.Count())
+	}
+}
+
 func TestLargeParallelIngest(t *testing.T) {
 	p, _, meta := newPipeline(t, Config{Workers: 8})
 	const n = 200

@@ -1,0 +1,180 @@
+package metadata
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// CreateSpec describes one dataset for CreateBatch. Tags listed here
+// are applied atomically with the creation, inside the same
+// shard-lock round.
+type CreateSpec struct {
+	Project  string
+	Path     string
+	Size     units.Bytes
+	Checksum string
+	Basic    map[string]string
+	Tags     []string
+}
+
+// CreateResult is one CreateBatch outcome, aligned with the input
+// spec slice.
+type CreateResult struct {
+	Dataset Dataset
+	Err     error
+}
+
+// CreateBatch registers many datasets in one pass: path claims are
+// grouped by path shard and dataset inserts by dataset shard, so a
+// bulk ingest takes one lock round per touched shard instead of one
+// global lock per dataset. Results are per-item — a duplicate path
+// (against the store or within the batch) fails only that item.
+// Dataset IDs are assigned in shard-group order, not spec order.
+// Events (Created, then Tagged per spec tag) are published per
+// dataset in commit order.
+func (s *Store) CreateBatch(specs []CreateSpec) []CreateResult {
+	results := make([]CreateResult, len(specs))
+	ids := make([]string, len(specs))
+
+	// Round 1: claim every path, one lock round per path shard.
+	pathGroups := make([][]int, len(s.pathShards))
+	for i, sp := range specs {
+		psi := fnv32a(sp.Path) & s.mask
+		pathGroups[psi] = append(pathGroups[psi], i)
+	}
+	for psi, idxs := range pathGroups {
+		if len(idxs) == 0 {
+			continue
+		}
+		ps := s.pathShards[psi]
+		ps.mu.Lock()
+		for _, i := range idxs {
+			path := specs[i].Path
+			if _, dup := ps.byPath[path]; dup {
+				results[i].Err = fmt.Errorf("%w: %q", ErrDuplicate, path)
+				continue
+			}
+			id := s.nextID()
+			ps.byPath[path] = id
+			ids[i] = id
+		}
+		ps.mu.Unlock()
+	}
+
+	// Round 2: insert the claimed datasets, one lock round per shard.
+	shardGroups := make([][]int, len(s.shards))
+	for i := range specs {
+		if ids[i] == "" {
+			continue
+		}
+		shi := fnv32a(ids[i]) & s.mask
+		shardGroups[shi] = append(shardGroups[shi], i)
+	}
+	observed := s.bus.hasSubscribers()
+	for shi, idxs := range shardGroups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[shi]
+		var evs []Event
+		sh.mu.Lock()
+		for _, i := range idxs {
+			sp := specs[i]
+			d := &Dataset{
+				ID:        ids[i],
+				Project:   sp.Project,
+				Path:      sp.Path,
+				Size:      sp.Size,
+				Checksum:  sp.Checksum,
+				Basic:     cloneMap(sp.Basic),
+				CreatedAt: s.now(),
+				Version:   1,
+			}
+			sh.datasets[d.ID] = d
+			if sh.byProject[d.Project] == nil {
+				sh.byProject[d.Project] = make(map[string]bool)
+			}
+			sh.byProject[d.Project][d.ID] = true
+			if observed {
+				evs = append(evs, Event{Type: EventCreated, Dataset: d.clone()})
+			}
+			for _, tag := range sp.Tags {
+				if d.HasTag(tag) {
+					continue
+				}
+				d.Tags = append(d.Tags, tag)
+				sort.Strings(d.Tags)
+				d.Version++
+				if sh.byTag[tag] == nil {
+					sh.byTag[tag] = make(map[string]bool)
+				}
+				sh.byTag[tag][d.ID] = true
+				if observed {
+					evs = append(evs, Event{Type: EventTagged, Dataset: d.clone(), Tag: tag})
+				}
+			}
+			results[i].Dataset = d.clone()
+		}
+		s.stage(evs...)
+		sh.mu.Unlock()
+		s.publish(evs...)
+	}
+	return results
+}
+
+// TagSpec names one tag application for TagBatch.
+type TagSpec struct {
+	ID  string
+	Tag string
+}
+
+// TagBatch applies many tags, grouped so each touched shard is
+// locked once. Like Tag it is idempotent per (ID, Tag) and publishes
+// EventTagged only on first application. The returned error joins
+// every per-item failure (errors.Is(err, ErrNotFound) matches when
+// any ID was unknown); successful items are applied regardless.
+func (s *Store) TagBatch(specs []TagSpec) error {
+	groups := make([][]int, len(s.shards))
+	for i, sp := range specs {
+		shi := fnv32a(sp.ID) & s.mask
+		groups[shi] = append(groups[shi], i)
+	}
+	var errs []error
+	observed := s.bus.hasSubscribers()
+	for shi, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		sh := s.shards[shi]
+		var evs []Event
+		sh.mu.Lock()
+		for _, i := range idxs {
+			sp := specs[i]
+			d, ok := sh.datasets[sp.ID]
+			if !ok {
+				errs = append(errs, fmt.Errorf("%w: %q", ErrNotFound, sp.ID))
+				continue
+			}
+			if d.HasTag(sp.Tag) {
+				continue
+			}
+			d.Tags = append(d.Tags, sp.Tag)
+			sort.Strings(d.Tags)
+			d.Version++
+			if sh.byTag[sp.Tag] == nil {
+				sh.byTag[sp.Tag] = make(map[string]bool)
+			}
+			sh.byTag[sp.Tag][d.ID] = true
+			if observed {
+				evs = append(evs, Event{Type: EventTagged, Dataset: d.clone(), Tag: sp.Tag})
+			}
+		}
+		s.stage(evs...)
+		sh.mu.Unlock()
+		s.publish(evs...)
+	}
+	return errors.Join(errs...)
+}

@@ -2,6 +2,9 @@ package metadata
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/units"
@@ -17,6 +20,92 @@ func BenchmarkCreate(b *testing.B) {
 		if _, err := s.Create("p", fmt.Sprintf("/b/%09d", i), 4*units.MB, "", basic); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCreateParallel is the sharding headline: concurrent
+// writers registering datasets at 1/4/16 shards × 1/8/64 goroutines.
+// shards=1 is the single-lock baseline the seed store had; the
+// 16-shard/64-goroutine cell versus that baseline is the number
+// EXPERIMENTS.md records. Goroutine counts are fixed explicitly (not
+// via RunParallel) and GOMAXPROCS is raised to the worker count
+// (capped at 16) for the duration, so the writers genuinely contend
+// — via OS time-slicing if the host has fewer cores — instead of
+// cooperatively serializing on a single P.
+func BenchmarkCreateParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("shards=%d/goroutines=%d", shards, workers), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(min(workers, 16))
+				defer runtime.GOMAXPROCS(prev)
+				s := NewStoreWith(Options{Shards: shards})
+				basic := map[string]string{"well": "A1", "wavelength": "488nm"}
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							if _, err := s.Create("p", fmt.Sprintf("/p/%02d/%09d", w, i), 4*units.MB, "", basic); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkCreateBatch measures bulk registration through the
+// batched API (one lock round per shard) against the same volume of
+// per-dataset Create calls.
+func BenchmarkCreateBatch(b *testing.B) {
+	const batch = 256
+	for _, mode := range []string{"loop-create", "create-batch"} {
+		b.Run(mode, func(b *testing.B) {
+			s := NewStore()
+			specs := make([]CreateSpec, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range specs {
+					specs[j] = CreateSpec{
+						Project: "p",
+						Path:    fmt.Sprintf("/b/%09d/%03d", i, j),
+						Size:    4 * units.MB,
+						Tags:    []string{"raw"},
+					}
+				}
+				if mode == "create-batch" {
+					for _, r := range s.CreateBatch(specs) {
+						if r.Err != nil {
+							b.Fatal(r.Err)
+						}
+					}
+					continue
+				}
+				for _, sp := range specs {
+					ds, err := s.Create(sp.Project, sp.Path, sp.Size, sp.Checksum, sp.Basic)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for _, tag := range sp.Tags {
+						if err := s.Tag(ds.ID, tag); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(batch), "datasets/op")
+		})
 	}
 }
 

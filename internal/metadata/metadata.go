@@ -8,6 +8,37 @@
 // basic metadata + processing parameters + results). Datasets carry
 // free-form tags, which are what the DataBrowser and the workflow
 // trigger system key on.
+//
+// # Sharding
+//
+// The repository is sharded: datasets are spread over N shards
+// (power of two, default 16) by FNV-1a hash of the dataset ID, and
+// the logical-path namespace over an equal number of path shards by
+// hash of the path. Each shard carries its own lock and its own
+// byProject/byTag index fragments, so concurrent writers touching
+// different datasets proceed without contending on a global lock.
+// Find fans out across shards in parallel and merges the per-shard
+// results in deterministic ID order, so query results are identical
+// for any shard count. Batched mutations (CreateBatch, TagBatch)
+// group their work by shard and take one lock round per shard
+// instead of one lock per dataset.
+//
+// # Event delivery
+//
+// Every mutation publishes an Event to subscribers. Two delivery
+// modes exist (see Options.Async):
+//
+//   - Sync (default): subscribers run inline on the mutating
+//     goroutine after the mutation commits — the deterministic mode
+//     that internal/sim and internal/experiments depend on.
+//   - Async: events flow through a bounded per-subscriber queue
+//     drained by one worker goroutine per subscriber (see bus.go).
+//     Events for the same dataset are always delivered in commit
+//     order; Flush blocks until every published event — including
+//     events cascaded by subscriber callbacks — has been delivered.
+//
+// Close flushes and stops the bus; mutations remain possible after
+// Close but no further events are delivered.
 package metadata
 
 import (
@@ -18,6 +49,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/units"
@@ -106,54 +138,196 @@ type Event struct {
 	Tag     string // set for EventTagged/EventUntagged
 }
 
-// Store is the metadata repository. All methods are safe for
-// concurrent use. Subscribers are invoked synchronously on the
-// mutating goroutine, after the mutation commits.
-type Store struct {
-	mu        sync.RWMutex
-	datasets  map[string]*Dataset
-	byPath    map[string]string          // path -> id
-	byProject map[string]map[string]bool // project -> ids
-	byTag     map[string]map[string]bool // tag -> ids
-	seq       int
-	clock     func() time.Time
-	subs      map[int]func(Event)
-	subSeq    int
+// Options configures a Store.
+type Options struct {
+	// Shards is the shard count; it is rounded up to a power of two.
+	// 0 means the default of 16. 1 degenerates to a single-lock store
+	// (the pre-sharding behavior, useful as a benchmark baseline).
+	Shards int
+	// Clock supplies timestamps; nil means time.Now.
+	Clock func() time.Time
+	// Async routes events through the background bus instead of
+	// invoking subscribers inline on the mutating goroutine.
+	Async bool
+	// QueueLen bounds each subscriber's event queue in async mode;
+	// 0 means the default of 256.
+	QueueLen int
 }
 
-// NewStore creates an empty repository using wall-clock time.
-func NewStore() *Store { return NewStoreWithClock(time.Now) }
+// DefaultShards is the shard count used when Options.Shards is 0.
+const DefaultShards = 16
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	o.Shards = ceilPow2(o.Shards)
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 256
+	}
+	return o
+}
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// shard holds the datasets whose ID hashes onto it, plus this
+// shard's fragment of the project and tag indexes.
+type shard struct {
+	mu        sync.RWMutex
+	datasets  map[string]*Dataset
+	byProject map[string]map[string]bool // project -> ids (this shard only)
+	byTag     map[string]map[string]bool // tag -> ids (this shard only)
+}
+
+// pathShard holds the slice of the logical-path namespace that
+// hashes onto it. Claiming a path here is what makes Create's
+// duplicate detection race-free without a global lock.
+type pathShard struct {
+	mu     sync.RWMutex
+	byPath map[string]string // path -> id
+}
+
+// Store is the metadata repository. All methods are safe for
+// concurrent use. See the package comment for the sharding layout
+// and the two event-delivery modes.
+type Store struct {
+	shards     []*shard
+	pathShards []*pathShard
+	mask       uint32
+	seq        atomic.Int64
+	clockMu    sync.RWMutex
+	clock      func() time.Time
+	bus        *bus
+}
+
+// NewStore creates an empty repository with default options:
+// 16 shards, wall-clock time, synchronous event delivery.
+func NewStore() *Store { return NewStoreWith(Options{}) }
 
 // NewStoreWithClock creates a repository with an injected clock, so
 // simulations can register datasets in virtual time.
 func NewStoreWithClock(clock func() time.Time) *Store {
-	return &Store{
-		datasets:  make(map[string]*Dataset),
-		byPath:    make(map[string]string),
-		byProject: make(map[string]map[string]bool),
-		byTag:     make(map[string]map[string]bool),
-		clock:     clock,
-		subs:      make(map[int]func(Event)),
-	}
+	return NewStoreWith(Options{Clock: clock})
 }
+
+// NewStoreWith creates a repository from explicit options.
+func NewStoreWith(opts Options) *Store {
+	opts = opts.withDefaults()
+	s := &Store{
+		shards:     make([]*shard, opts.Shards),
+		pathShards: make([]*pathShard, opts.Shards),
+		mask:       uint32(opts.Shards - 1),
+		clock:      opts.Clock,
+		bus:        newBus(opts.Async, opts.QueueLen),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			datasets:  make(map[string]*Dataset),
+			byProject: make(map[string]map[string]bool),
+			byTag:     make(map[string]map[string]bool),
+		}
+		s.pathShards[i] = &pathShard{byPath: make(map[string]string)}
+	}
+	return s
+}
+
+// Shards returns the shard count (always a power of two).
+func (s *Store) Shards() int { return len(s.shards) }
 
 // SetClock replaces the timestamp source (for tests and simulation).
 func (s *Store) SetClock(clock func() time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.Lock()
+	defer s.clockMu.Unlock()
 	s.clock = clock
+}
+
+func (s *Store) now() time.Time {
+	s.clockMu.RLock()
+	defer s.clockMu.RUnlock()
+	return s.clock()
+}
+
+// fnv32a is the 32-bit FNV-1a hash, inlined to avoid the hash.Hash
+// allocation on every shard lookup.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *Store) shardFor(id string) *shard           { return s.shards[fnv32a(id)&s.mask] }
+func (s *Store) pathShardFor(path string) *pathShard { return s.pathShards[fnv32a(path)&s.mask] }
+
+func (s *Store) nextID() string {
+	return fmt.Sprintf("ds-%06d", s.seq.Add(1))
+}
+
+// insert registers d in the shard's maps. Callers hold sh.mu.
+func (sh *shard) insert(d *Dataset) {
+	sh.datasets[d.ID] = d
+	if sh.byProject[d.Project] == nil {
+		sh.byProject[d.Project] = make(map[string]bool)
+	}
+	sh.byProject[d.Project][d.ID] = true
+	for _, t := range d.Tags {
+		if sh.byTag[t] == nil {
+			sh.byTag[t] = make(map[string]bool)
+		}
+		sh.byTag[t][d.ID] = true
+	}
+}
+
+// publish commits events for a mutation. In async mode the events
+// must have been staged via bus.enqueue while the shard lock was
+// held (that is what makes per-dataset delivery order equal commit
+// order), so publish is a no-op; in sync mode it invokes the
+// subscribers inline, after the shard lock is released so callbacks
+// may call back into the store.
+func (s *Store) publish(evs ...Event) {
+	if s.bus.async {
+		return
+	}
+	for _, ev := range evs {
+		s.bus.deliverSync(ev)
+	}
+}
+
+// stage hands events to the async bus; callers hold the shard lock.
+// No-op in sync mode.
+func (s *Store) stage(evs ...Event) {
+	if !s.bus.async {
+		return
+	}
+	for _, ev := range evs {
+		s.bus.enqueue(ev)
+	}
 }
 
 // Create registers a dataset. The basic map is copied and immutable
 // afterwards. The logical path must be unique.
 func (s *Store) Create(project, path string, size units.Bytes, checksum string, basic map[string]string) (Dataset, error) {
-	s.mu.Lock()
-	if _, dup := s.byPath[path]; dup {
-		s.mu.Unlock()
+	ps := s.pathShardFor(path)
+	ps.mu.Lock()
+	if _, dup := ps.byPath[path]; dup {
+		ps.mu.Unlock()
 		return Dataset{}, fmt.Errorf("%w: %q", ErrDuplicate, path)
 	}
-	s.seq++
-	id := fmt.Sprintf("ds-%06d", s.seq)
+	id := s.nextID()
+	ps.byPath[path] = id
+	ps.mu.Unlock()
+
 	d := &Dataset{
 		ID:        id,
 		Project:   project,
@@ -161,26 +335,26 @@ func (s *Store) Create(project, path string, size units.Bytes, checksum string, 
 		Size:      size,
 		Checksum:  checksum,
 		Basic:     cloneMap(basic),
-		CreatedAt: s.clock(),
+		CreatedAt: s.now(),
 		Version:   1,
 	}
-	s.datasets[id] = d
-	s.byPath[path] = id
-	if s.byProject[project] == nil {
-		s.byProject[project] = make(map[string]bool)
-	}
-	s.byProject[project][id] = true
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.insert(d)
 	snap := d.clone()
-	s.mu.Unlock()
-	s.publish(Event{Type: EventCreated, Dataset: snap})
+	ev := Event{Type: EventCreated, Dataset: snap}
+	s.stage(ev)
+	sh.mu.Unlock()
+	s.publish(ev)
 	return snap, nil
 }
 
 // Get returns a snapshot of a dataset by ID.
 func (s *Store) Get(id string) (Dataset, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	d, ok := s.datasets[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	d, ok := sh.datasets[id]
 	if !ok {
 		return Dataset{}, false
 	}
@@ -189,60 +363,69 @@ func (s *Store) Get(id string) (Dataset, bool) {
 
 // ByPath returns a snapshot of the dataset registered at path.
 func (s *Store) ByPath(path string) (Dataset, bool) {
-	s.mu.RLock()
-	id, ok := s.byPath[path]
+	ps := s.pathShardFor(path)
+	ps.mu.RLock()
+	id, ok := ps.byPath[path]
+	ps.mu.RUnlock()
 	if !ok {
-		s.mu.RUnlock()
 		return Dataset{}, false
 	}
-	d := s.datasets[id].clone()
-	s.mu.RUnlock()
-	return d, true
+	// A concurrent Create may have claimed the path but not yet
+	// inserted the dataset; treat that in-flight window as not found.
+	return s.Get(id)
 }
 
 // Count returns the number of datasets.
 func (s *Store) Count() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.datasets)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.datasets)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Tag adds a tag; it is idempotent. Subscribers observe EventTagged
 // only on the first application.
 func (s *Store) Tag(id, tag string) error {
-	s.mu.Lock()
-	d, ok := s.datasets[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	d, ok := sh.datasets[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if d.HasTag(tag) {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	d.Tags = append(d.Tags, tag)
 	sort.Strings(d.Tags)
 	d.Version++
-	if s.byTag[tag] == nil {
-		s.byTag[tag] = make(map[string]bool)
+	if sh.byTag[tag] == nil {
+		sh.byTag[tag] = make(map[string]bool)
 	}
-	s.byTag[tag][id] = true
+	sh.byTag[tag][id] = true
 	snap := d.clone()
-	s.mu.Unlock()
-	s.publish(Event{Type: EventTagged, Dataset: snap, Tag: tag})
+	ev := Event{Type: EventTagged, Dataset: snap, Tag: tag}
+	s.stage(ev)
+	sh.mu.Unlock()
+	s.publish(ev)
 	return nil
 }
 
 // Untag removes a tag if present.
 func (s *Store) Untag(id, tag string) error {
-	s.mu.Lock()
-	d, ok := s.datasets[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	d, ok := sh.datasets[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	if !d.HasTag(tag) {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	}
 	keep := d.Tags[:0]
@@ -253,19 +436,22 @@ func (s *Store) Untag(id, tag string) error {
 	}
 	d.Tags = keep
 	d.Version++
-	delete(s.byTag[tag], id)
+	delete(sh.byTag[tag], id)
 	snap := d.clone()
-	s.mu.Unlock()
-	s.publish(Event{Type: EventUntagged, Dataset: snap, Tag: tag})
+	ev := Event{Type: EventUntagged, Dataset: snap, Tag: tag}
+	s.stage(ev)
+	sh.mu.Unlock()
+	s.publish(ev)
 	return nil
 }
 
 // AddProcessing appends a processing record, returning its ID.
 func (s *Store) AddProcessing(id string, p Processing) (string, error) {
-	s.mu.Lock()
-	d, ok := s.datasets[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	d, ok := sh.datasets[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return "", fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	p.ID = fmt.Sprintf("%s-p%03d", d.ID, len(d.Processings)+1)
@@ -275,64 +461,70 @@ func (s *Store) AddProcessing(id string, p Processing) (string, error) {
 	d.Processings = append(d.Processings, p)
 	d.Version++
 	snap := d.clone()
-	s.mu.Unlock()
-	s.publish(Event{Type: EventProcessingAdded, Dataset: snap})
+	ev := Event{Type: EventProcessingAdded, Dataset: snap}
+	s.stage(ev)
+	sh.mu.Unlock()
+	s.publish(ev)
 	return p.ID, nil
 }
 
 // Delete removes a dataset.
 func (s *Store) Delete(id string) error {
-	s.mu.Lock()
-	d, ok := s.datasets[id]
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	d, ok := sh.datasets[id]
 	if !ok {
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
-	delete(s.datasets, id)
-	delete(s.byPath, d.Path)
-	delete(s.byProject[d.Project], id)
+	delete(sh.datasets, id)
+	delete(sh.byProject[d.Project], id)
 	for _, t := range d.Tags {
-		delete(s.byTag[t], id)
+		delete(sh.byTag[t], id)
 	}
 	snap := d.clone()
-	s.mu.Unlock()
-	s.publish(Event{Type: EventDeleted, Dataset: snap})
+	ev := Event{Type: EventDeleted, Dataset: snap}
+	s.stage(ev)
+	sh.mu.Unlock()
+
+	ps := s.pathShardFor(d.Path)
+	ps.mu.Lock()
+	if ps.byPath[d.Path] == id {
+		delete(ps.byPath, d.Path)
+	}
+	ps.mu.Unlock()
+	s.publish(ev)
 	return nil
 }
 
 // Subscribe registers a callback for every subsequent mutation; the
-// returned function unsubscribes. Callbacks run synchronously, so
-// they must not call back into the Store's mutating methods from the
-// same goroutine stack if ordering matters to them.
+// returned function unsubscribes. In sync mode callbacks run inline
+// on the mutating goroutine; in async mode each subscriber gets a
+// dedicated worker goroutine and a bounded queue, and callbacks may
+// freely call back into the store.
 func (s *Store) Subscribe(fn func(Event)) (unsubscribe func()) {
-	s.mu.Lock()
-	id := s.subSeq
-	s.subSeq++
-	s.subs[id] = fn
-	s.mu.Unlock()
-	return func() {
-		s.mu.Lock()
-		delete(s.subs, id)
-		s.mu.Unlock()
-	}
+	return s.bus.subscribe(fn)
 }
 
-func (s *Store) publish(ev Event) {
-	s.mu.RLock()
-	fns := make([]func(Event), 0, len(s.subs))
-	ids := make([]int, 0, len(s.subs))
-	for id := range s.subs {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		fns = append(fns, s.subs[id])
-	}
-	s.mu.RUnlock()
-	for _, fn := range fns {
-		fn(ev)
-	}
-}
+// Flush blocks until every event published so far — including events
+// cascaded from subscriber callbacks and external work registered
+// via HoldFlush — has been delivered. It returns immediately in sync
+// mode when no HoldFlush work is outstanding. Flush must not be
+// called from a subscriber callback.
+func (s *Store) Flush() { s.bus.flush() }
+
+// HoldFlush registers one unit of external in-flight work with the
+// flush barrier and returns its release function. Subscribers that
+// hand an event to their own worker pool (the orchestrator's
+// AsyncWorkflows mode) call it before their callback returns, so
+// Flush keeps waiting until the handed-off work calls release — that
+// is what makes Flush a full quiescence barrier across chained
+// subsystems. release is idempotent.
+func (s *Store) HoldFlush() (release func()) { return s.bus.hold() }
+
+// Close flushes and stops the event bus. The store remains readable
+// and writable, but no further events are delivered.
+func (s *Store) Close() { s.bus.close() }
 
 func cloneMap(m map[string]string) map[string]string {
 	if m == nil {
@@ -372,20 +564,59 @@ type Query struct {
 	Limit         int               // 0 = unlimited
 }
 
-// Find returns matching dataset snapshots sorted by ID. It uses the
-// project and tag indexes to narrow the candidate set before
-// filtering, which is what keeps 10^5-dataset queries flat (E3).
+// Find returns matching dataset snapshots sorted by ID. Each shard
+// narrows its candidate set through its project/tag index fragments
+// — which is what keeps 10^5-dataset queries flat (E3) — and the
+// shards are scanned in parallel, with the per-shard results merged
+// in deterministic ID order.
 func (s *Store) Find(q Query) []Dataset {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	perShard := make([][]Dataset, len(s.shards))
+	if len(s.shards) == 1 {
+		perShard[0] = s.shards[0].find(q)
+	} else {
+		var wg sync.WaitGroup
+		for i, sh := range s.shards {
+			wg.Add(1)
+			go func(i int, sh *shard) {
+				defer wg.Done()
+				perShard[i] = sh.find(q)
+			}(i, sh)
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, part := range perShard {
+		total += len(part)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Dataset, 0, total)
+	for _, part := range perShard {
+		out = append(out, part...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
 
-	// Choose the narrowest index.
+// find collects this shard's matches in ID order, capped at q.Limit
+// per shard (the global head-by-ID is a subset of the union of the
+// per-shard heads, so the cap cannot drop a result that the merged,
+// truncated output would have kept).
+func (sh *shard) find(q Query) []Dataset {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+
+	// Choose the narrowest index fragment.
 	var candidates map[string]bool
 	if q.Project != "" {
-		candidates = s.byProject[q.Project]
+		candidates = sh.byProject[q.Project]
 	}
 	for _, t := range q.Tags {
-		set := s.byTag[t]
+		set := sh.byTag[t]
 		if candidates == nil || len(set) < len(candidates) {
 			candidates = set
 		}
@@ -398,8 +629,8 @@ func (s *Store) Find(q Query) []Dataset {
 			ids = append(ids, id)
 		}
 	} else {
-		ids = make([]string, 0, len(s.datasets))
-		for id := range s.datasets {
+		ids = make([]string, 0, len(sh.datasets))
+		for id := range sh.datasets {
 			ids = append(ids, id)
 		}
 	}
@@ -407,7 +638,7 @@ func (s *Store) Find(q Query) []Dataset {
 
 	var out []Dataset
 	for _, id := range ids {
-		d := s.datasets[id]
+		d := sh.datasets[id]
 		if d == nil || !matches(d, q) {
 			continue
 		}
@@ -446,27 +677,29 @@ func matches(d *Dataset, q Query) bool {
 }
 
 // Export writes the full repository as JSON (one stable document).
+// Export must not run concurrently with mutations if a
+// point-in-time-consistent dump is required.
 func (s *Store) Export(w io.Writer) error {
-	s.mu.RLock()
-	ids := make([]string, 0, len(s.datasets))
-	for id := range s.datasets {
-		ids = append(ids, id)
+	var all []Dataset
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, d := range sh.datasets {
+			all = append(all, d.clone())
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Strings(ids)
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	dump := struct {
 		Seq      int       `json:"seq"`
 		Datasets []Dataset `json:"datasets"`
-	}{Seq: s.seq}
-	for _, id := range ids {
-		dump.Datasets = append(dump.Datasets, s.datasets[id].clone())
-	}
-	s.mu.RUnlock()
+	}{Seq: int(s.seq.Load()), Datasets: all}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dump)
 }
 
-// Import loads a repository dump into an empty store.
+// Import loads a repository dump into an empty store. It publishes
+// no events and must not run concurrently with mutations.
 func (s *Store) Import(r io.Reader) error {
 	var dump struct {
 		Seq      int       `json:"seq"`
@@ -475,27 +708,21 @@ func (s *Store) Import(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&dump); err != nil {
 		return fmt.Errorf("metadata: import: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if len(s.datasets) > 0 {
+	if s.Count() > 0 {
 		return errors.New("metadata: import into non-empty store")
 	}
-	s.seq = dump.Seq
+	s.seq.Store(int64(dump.Seq))
 	for i := range dump.Datasets {
 		d := dump.Datasets[i]
 		cp := d.clone()
-		s.datasets[d.ID] = &cp
-		s.byPath[d.Path] = d.ID
-		if s.byProject[d.Project] == nil {
-			s.byProject[d.Project] = make(map[string]bool)
-		}
-		s.byProject[d.Project][d.ID] = true
-		for _, t := range d.Tags {
-			if s.byTag[t] == nil {
-				s.byTag[t] = make(map[string]bool)
-			}
-			s.byTag[t][d.ID] = true
-		}
+		ps := s.pathShardFor(d.Path)
+		ps.mu.Lock()
+		ps.byPath[d.Path] = d.ID
+		ps.mu.Unlock()
+		sh := s.shardFor(d.ID)
+		sh.mu.Lock()
+		sh.insert(&cp)
+		sh.mu.Unlock()
 	}
 	return nil
 }

@@ -32,8 +32,10 @@ type RunRecord struct {
 }
 
 // Orchestrator subscribes to the metadata store and dispatches
-// triggered workflow runs. Runs execute synchronously on the tagging
-// goroutine by default, or on a worker pool when Async is set.
+// triggered workflow runs. Runs execute on whichever goroutine
+// delivers the event — the tagging goroutine in the store's default
+// sync mode, the store's bus worker in async mode — or on this
+// orchestrator's own worker pool when asyncWorkers > 0.
 type Orchestrator struct {
 	layer *adal.Layer
 	meta  *metadata.Store
@@ -111,7 +113,14 @@ func (o *Orchestrator) onEvent(ev metadata.Event) {
 		ds := ev.Dataset
 		run := func() { o.runTriggered(t, ds, ev.Tag) }
 		if o.async != nil {
-			o.async <- run
+			// Register the handed-off run with the store's flush
+			// barrier before this callback returns, so Meta.Flush
+			// keeps waiting until the pool finishes it.
+			release := o.meta.HoldFlush()
+			o.async <- func() {
+				defer release()
+				run()
+			}
 		} else {
 			run()
 		}

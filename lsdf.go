@@ -10,8 +10,14 @@
 //	fac.Tag(ds.Path, "analyze")            // triggers workflows
 //	out := fac.Query(lsdf.Query{Tags: []string{"processed:seg"}})
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every reproduced figure.
+// The metadata repository behind the handle is sharded; bulk ingest
+// can batch registrations (Facility.StoreBatch, IngestWith), and
+// Options.AsyncEvents moves workflow/rule triggering onto a
+// background event bus with Facility.Flush as the delivery barrier.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record of every
+// reproduced figure.
 package lsdf
 
 import (
