@@ -142,6 +142,24 @@ func (l *Layer) Remove(path string) error {
 	return b.Remove(rel)
 }
 
+// copyBufPool recycles transfer buffers across concurrent ingest
+// workers and audits. io.CopyBuffer skips the buffer entirely when
+// the source implements io.WriterTo (the DFS reader does, streaming
+// block by block), so the pool only pays for backends without one.
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 256*1024)
+		return &b
+	},
+}
+
+func pooledCopy(dst io.Writer, src io.Reader) (int64, error) {
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(dst, src, *bp)
+	copyBufPool.Put(bp)
+	return n, err
+}
+
 // WriteChecksummed streams r into path, returning the byte count and
 // hex SHA-256 — the ingest pipeline's canonical write primitive.
 func (l *Layer) WriteChecksummed(path string, r io.Reader) (units.Bytes, string, error) {
@@ -150,7 +168,7 @@ func (l *Layer) WriteChecksummed(path string, r io.Reader) (units.Bytes, string,
 		return 0, "", err
 	}
 	h := sha256.New()
-	n, err := io.Copy(io.MultiWriter(w, h), r)
+	n, err := pooledCopy(io.MultiWriter(w, h), r)
 	if err != nil {
 		w.Close()
 		return 0, "", fmt.Errorf("adal: writing %s: %w", path, err)
@@ -170,7 +188,7 @@ func (l *Layer) Checksum(path string) (string, error) {
 	}
 	defer r.Close()
 	h := sha256.New()
-	if _, err := io.Copy(h, r); err != nil {
+	if _, err := pooledCopy(h, r); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
@@ -187,7 +205,7 @@ func (l *Layer) CopyObject(src, dst string) error {
 	if err != nil {
 		return err
 	}
-	if _, err := io.Copy(w, r); err != nil {
+	if _, err := pooledCopy(w, r); err != nil {
 		w.Close()
 		return err
 	}

@@ -78,11 +78,13 @@ func (c *Cluster) balanceStep(threshold float64) bool {
 		return false
 	}
 
-	data, err := src.dn.getBlock(meta.id)
+	data, sum, rep, err := src.dn.getBlockPinned(meta.id)
 	if err != nil {
 		return false
 	}
-	if err := dst.dn.putBlock(meta.id, data); err != nil {
+	err = dst.dn.putBlock(meta.id, data, sum)
+	src.dn.unpinBlock(rep) // putBlock copied; drop our alias before the drop
+	if err != nil {
 		return false
 	}
 	src.dn.dropBlock(meta.id)

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/units"
@@ -44,6 +45,94 @@ func BenchmarkReadLocal(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.ReadFile("/bench/file", "dn00"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadParallel measures 8 concurrent readers streaming one
+// multi-block file — the MapReduce fan-in pattern. Pre-PR2 this
+// serialized on the datanode mutex (every getBlock re-hashed
+// the whole block under it) and on the namenode metrics lock.
+func BenchmarkReadParallel(b *testing.B) {
+	const readers = 8
+	c := benchCluster(b, 9)
+	data := make([]byte, 16*units.MiB) // 64 blocks
+	if err := c.WriteFile("/bench/file", "dn00", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)) * readers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < readers; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				if _, err := c.ReadFile("/bench/file", fmt.Sprintf("dn%02d", r)); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkWriteParallel measures 8 concurrent writers, each
+// committing a multi-block file with 3-way replication — sustained
+// ingest as the paper's DAQ pipelines produce it.
+func BenchmarkWriteParallel(b *testing.B) {
+	const writers = 8
+	c := benchCluster(b, 9)
+	data := make([]byte, 4*units.MiB) // 16 blocks
+	b.SetBytes(int64(len(data)) * writers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				name := fmt.Sprintf("/bench/p/%06d-%d", i, w)
+				if err := c.WriteFile(name, fmt.Sprintf("dn%02d", w), data); err != nil {
+					b.Error(err)
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Delete outside the timer so the cluster (and process memory)
+		// doesn't grow with b.N; the pool recycles the replica buffers.
+		b.StopTimer()
+		for w := 0; w < writers; w++ {
+			if err := c.Delete(fmt.Sprintf("/bench/p/%06d-%d", i, w)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+	}
+}
+
+// BenchmarkReadAtBackward measures a reader alternating between two
+// file regions — the record-reader-straddling-splits pattern that a
+// single-block cursor cache refetches on every swing.
+func BenchmarkReadAtBackward(b *testing.B) {
+	c := benchCluster(b, 9)
+	data := make([]byte, 16*units.MiB)
+	if err := c.WriteFile("/bench/file", "dn00", data); err != nil {
+		b.Fatal(err)
+	}
+	r, err := c.Open("/bench/file", "dn00")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(int64(len(buf)) * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadAt(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.ReadAt(buf, 8*int64(units.MiB)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -16,8 +16,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/units"
 )
@@ -36,6 +38,11 @@ type Config struct {
 	BlockSize   units.Bytes // default 64 MiB, the Hadoop-2011 default
 	Replication int         // default 3
 	Seed        int64       // placement randomness; fixed for reproducibility
+
+	// MaxReplicaStreams bounds how many block replica transfers run
+	// concurrently across the whole cluster (the write-pipeline
+	// fan-out). Default 4×GOMAXPROCS.
+	MaxReplicaStreams int
 }
 
 // DefaultConfig mirrors a 2011 Hadoop deployment.
@@ -77,8 +84,16 @@ type FileInfo struct {
 }
 
 // Cluster is the namenode plus its datanodes.
+//
+// Lock ordering: mu (the namenode lock) may be held while taking a
+// datanode's mu (placement probes node space); the reverse never
+// happens. The data path — block transfer, checksum verification,
+// read/write metrics — takes neither: transfers synchronize on the
+// per-node mutexes, metrics are atomics.
 type Cluster struct {
-	cfg Config
+	cfg    Config
+	pool   *bufferPool
+	repSem chan struct{} // cluster-wide bound on concurrent replica streams
 
 	mu     sync.RWMutex
 	nodes  map[string]*DataNode
@@ -87,12 +102,12 @@ type Cluster struct {
 	nextID uint64
 	rng    *rand.Rand
 
-	// metrics (guarded by mu)
-	localReads   uint64
-	remoteReads  uint64
-	bytesRead    units.Bytes
-	bytesWrit    units.Bytes
-	reReplicated uint64
+	// metrics (lock-free; reads never touch mu)
+	localReads   atomic.Uint64
+	remoteReads  atomic.Uint64
+	bytesRead    atomic.Int64
+	bytesWrit    atomic.Int64
+	reReplicated atomic.Uint64
 }
 
 // NewCluster creates an empty cluster.
@@ -103,11 +118,16 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Replication <= 0 {
 		cfg.Replication = 3
 	}
+	if cfg.MaxReplicaStreams <= 0 {
+		cfg.MaxReplicaStreams = 4 * runtime.GOMAXPROCS(0)
+	}
 	return &Cluster{
-		cfg:   cfg,
-		nodes: make(map[string]*DataNode),
-		files: make(map[string]*fileEntry),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		pool:   newBufferPool(int(cfg.BlockSize)),
+		repSem: make(chan struct{}, cfg.MaxReplicaStreams),
+		nodes:  make(map[string]*DataNode),
+		files:  make(map[string]*fileEntry),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 }
 
@@ -122,7 +142,8 @@ func (c *Cluster) AddDataNode(id, rack string, capacity units.Bytes) (*DataNode,
 		return nil, fmt.Errorf("dfs: datanode %q exists", id)
 	}
 	dn := &DataNode{ID: id, Rack: rack, Capacity: capacity,
-		blocks: make(map[BlockID][]byte), sums: make(map[BlockID]uint32), alive: true}
+		pool: c.pool, blocks: make(map[BlockID]*replica)}
+	dn.alive.Store(true)
 	c.nodes[id] = dn
 	c.order = append(c.order, id)
 	sort.Strings(c.order)
@@ -240,11 +261,11 @@ func (c *Cluster) Report() Report {
 	r := Report{
 		Nodes:        len(c.nodes),
 		Files:        len(c.files),
-		LocalReads:   c.localReads,
-		RemoteReads:  c.remoteReads,
-		BytesRead:    c.bytesRead,
-		BytesWritten: c.bytesWrit,
-		ReReplicated: c.reReplicated,
+		LocalReads:   c.localReads.Load(),
+		RemoteReads:  c.remoteReads.Load(),
+		BytesRead:    units.Bytes(c.bytesRead.Load()),
+		BytesWritten: units.Bytes(c.bytesWrit.Load()),
+		ReReplicated: c.reReplicated.Load(),
 	}
 	for _, id := range c.order {
 		dn := c.nodes[id]

@@ -1,0 +1,46 @@
+package dfs
+
+import "sync"
+
+// bufferPool recycles block-sized payload buffers across writers and
+// datanodes so sustained ingest stops allocating BlockSize bytes per
+// block per replica. Only buffers of exactly the cluster block size
+// are pooled; odd sizes (tail blocks on oversized requests) fall back
+// to the allocator.
+//
+// Ownership rules (documented for consumers in DESIGN.md): a buffer
+// obtained from get is owned by the caller until handed to put.
+// Replica buffers are recycled only when provably unaliased — a
+// replica whose slice ever escaped through getBlock is marked lent
+// and left to the GC instead (see replica.lent/pins in datanode.go),
+// so slices held by readers remain valid indefinitely.
+type bufferPool struct {
+	size int
+	p    sync.Pool
+}
+
+func newBufferPool(blockSize int) *bufferPool {
+	return &bufferPool{size: blockSize}
+}
+
+// get returns a zero-length buffer with capacity at least n.
+func (bp *bufferPool) get(n int) []byte {
+	if n > bp.size {
+		return make([]byte, 0, n)
+	}
+	if v := bp.p.Get(); v != nil {
+		return (*v.(*[]byte))[:0]
+	}
+	return make([]byte, 0, bp.size)
+}
+
+// put recycles a buffer previously returned by get. Buffers whose
+// capacity does not match the pooled block size are dropped for the
+// GC.
+func (bp *bufferPool) put(b []byte) {
+	if cap(b) != bp.size {
+		return
+	}
+	b = b[:0]
+	bp.p.Put(&b)
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dfs
+
+const raceEnabled = false

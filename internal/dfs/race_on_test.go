@@ -1,0 +1,8 @@
+//go:build race
+
+package dfs
+
+// raceEnabled reports that this binary was built with the race
+// detector, under which sync.Pool randomly drops items — tests
+// asserting pool round-trips must skip.
+const raceEnabled = true

@@ -60,10 +60,9 @@ func (c *Cluster) ReviveNode(id string) error {
 		return fmt.Errorf("dfs: unknown datanode %q", id)
 	}
 	dn.mu.Lock()
-	dn.alive = true
-	dn.blocks = make(map[BlockID][]byte)
-	dn.sums = make(map[BlockID]uint32)
-	dn.usedByte = 0
+	dn.alive.Store(true)
+	dn.blocks = make(map[BlockID]*replica)
+	dn.usedByte.Store(0)
 	dn.mu.Unlock()
 	return nil
 }
@@ -71,8 +70,12 @@ func (c *Cluster) ReviveNode(id string) error {
 // reReplicate copies one under-replicated block from a surviving
 // replica to a new target chosen by the placement policy.
 func (c *Cluster) reReplicate(b *blockMeta) bool {
-	// Read from any live holder.
+	// Read from any live holder; the stored checksum travels with the
+	// bytes so the target node stores rather than re-hashes. The
+	// source is pinned, not lent — putBlock copies, so the buffer
+	// stays recyclable.
 	var data []byte
+	var sum uint32
 	c.mu.RLock()
 	holders := append([]string(nil), b.replicas...)
 	c.mu.RUnlock()
@@ -81,8 +84,9 @@ func (c *Cluster) reReplicate(b *blockMeta) bool {
 		if !ok {
 			continue
 		}
-		if d, err := dn.getBlock(b.id); err == nil {
-			data = d
+		if d, s, rep, err := dn.getBlockPinned(b.id); err == nil {
+			data, sum = d, s
+			defer dn.unpinBlock(rep)
 			break
 		}
 	}
@@ -112,13 +116,13 @@ func (c *Cluster) reReplicate(b *blockMeta) bool {
 	if target == nil {
 		return false
 	}
-	if err := target.putBlock(b.id, data); err != nil {
+	if err := target.putBlock(b.id, data, sum); err != nil {
 		return false
 	}
 	c.mu.Lock()
 	b.replicas = append(b.replicas, target.ID)
-	c.reReplicated++
 	c.mu.Unlock()
+	c.reReplicated.Add(1)
 	return true
 }
 

@@ -8,33 +8,51 @@ import (
 // HDFS stores a checksum beside every block replica and verifies it
 // on read; a background scrubber walks replicas, drops corrupt ones
 // and restores replication from the survivors. This file implements
-// that behaviour: DataNode.putBlock records a CRC-32C, getBlock
-// verifies it, and Cluster.Scrub runs the repair pass.
+// that behaviour on top of the write-once checksum lifecycle: the
+// writer computes one CRC-32C per block, datanodes store it verbatim,
+// the first read after a store or invalidation verifies lazily
+// (DataNode.getBlock), and Cluster.Scrub runs the full periodic
+// verification and repair pass.
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // verifyBlock checks a replica's stored checksum, returning an error
-// for corrupt data. Callers hold no locks.
+// for corrupt data. Callers hold no locks; the hash runs outside the
+// node mutex and a passing check marks the replica verified so
+// subsequent reads skip it.
 func (dn *DataNode) verifyBlock(id BlockID) error {
 	dn.mu.Lock()
-	defer dn.mu.Unlock()
-	data, ok := dn.blocks[id]
+	rep, ok := dn.blocks[id]
 	if !ok {
+		dn.mu.Unlock()
 		return fmt.Errorf("dfs: node %s missing block %s", dn.ID, id)
 	}
-	want, ok := dn.sums[id]
-	if !ok {
-		return nil // legacy block without checksum; treat as valid
-	}
-	if got := crc32.Checksum(data, crcTable); got != want {
+	data, want, gen := rep.data, rep.sum, rep.gen
+	rep.pins++
+	dn.mu.Unlock()
+
+	got := crc32.Checksum(data, crcTable)
+
+	dn.mu.Lock()
+	rep.pins--
+	dn.unpinLocked(rep)
+	if got != want {
+		dn.mu.Unlock()
 		return fmt.Errorf("dfs: node %s block %s corrupt (crc %08x != %08x)", dn.ID, id, got, want)
 	}
+	if cur, ok := dn.blocks[id]; ok && cur == rep && rep.gen == gen {
+		rep.verified = true
+	}
+	dn.mu.Unlock()
 	return nil
 }
 
 // CorruptReplica flips one byte of a replica in place — failure
-// injection for scrubber tests and experiments. It reports whether
-// the named node held the block.
+// injection for scrubber tests and experiments; the stored checksum
+// goes stale and the replica is marked unverified so the next read
+// re-checks and detects the damage. It reports whether the named node
+// held the block. Injection models offline bit-rot: do not run it
+// concurrently with readers of the same block.
 func (c *Cluster) CorruptReplica(nodeID string, id BlockID) bool {
 	dn, ok := c.Node(nodeID)
 	if !ok {
@@ -42,11 +60,12 @@ func (c *Cluster) CorruptReplica(nodeID string, id BlockID) bool {
 	}
 	dn.mu.Lock()
 	defer dn.mu.Unlock()
-	data, ok := dn.blocks[id]
-	if !ok || len(data) == 0 {
+	rep, ok := dn.blocks[id]
+	if !ok || len(rep.data) == 0 {
 		return false
 	}
-	data[len(data)/2] ^= 0xFF
+	rep.data[len(rep.data)/2] ^= 0xFF
+	dn.invalidate(rep)
 	return true
 }
 

@@ -44,6 +44,10 @@ type Options struct {
 	DFSNodeCapacity units.Bytes
 	// Replication is the HDFS replication factor (default 3).
 	Replication int
+	// DFSReplicaStreams bounds concurrent block replica transfers
+	// across the cluster — the write-pipeline fan-out (default
+	// 4×GOMAXPROCS).
+	DFSReplicaStreams int
 	// AsyncWorkflows > 0 runs triggered workflows on that many workers.
 	AsyncWorkflows int
 	// MetadataShards overrides the metadata store's shard count
@@ -101,9 +105,10 @@ func New(opts Options) (*Facility, error) {
 	opts = opts.withDefaults()
 
 	cluster := dfs.NewCluster(dfs.Config{
-		BlockSize:   opts.DFSBlockSize,
-		Replication: opts.Replication,
-		Seed:        1,
+		BlockSize:         opts.DFSBlockSize,
+		Replication:       opts.Replication,
+		Seed:              1,
+		MaxReplicaStreams: opts.DFSReplicaStreams,
 	})
 	for i := 0; i < opts.DFSNodes; i++ {
 		rack := fmt.Sprintf("rack%d", i%opts.DFSRacks)
