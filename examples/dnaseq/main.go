@@ -70,16 +70,21 @@ func main() {
 		}
 	}
 
-	// Job 2: coverage profile.
+	// Job 2: coverage profile, on the memory-bounded shuffle — a
+	// 32 KiB per-task budget spills sorted runs to the DFS and the
+	// streaming reducer folds counts straight off the merge.
 	cres, err := fac.RunJob(mapreduce.Config{
 		Name:   "coverage",
 		Inputs: []string{"/dna/reads"}, OutputDir: "/dna/cov",
-		Mapper: workloads.CoverageMapper(10_000), Reducer: workloads.SumReducer,
+		Mapper: workloads.CoverageMapper(10_000), StreamReducer: workloads.StreamSumReducer,
 		Combiner: workloads.SumReducer, Locality: true,
+		ShuffleMemory: 32 * units.KiB,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("coverage job spilled %d sorted runs (%d bytes) and merged %d streams\n",
+		cres.Counters.SpillRuns, cres.Counters.SpillBytes, cres.Counters.MergeStreams)
 	cov, err := mapreduce.ReadTextOutput(fac.Cluster(), cres.OutputFiles)
 	if err != nil {
 		log.Fatal(err)

@@ -82,7 +82,7 @@ func E6MapReduceScaling() (*Table, error) {
 		return nil
 	})
 
-	run := func(nodes int, locality bool) (time.Duration, *mapreduce.Result, error) {
+	run := func(nodes int, locality bool, shuffleMem units.Bytes) (time.Duration, *mapreduce.Result, error) {
 		c, err := mrCluster(nodes, 16*units.KiB)
 		if err != nil {
 			return 0, nil, err
@@ -95,7 +95,8 @@ func E6MapReduceScaling() (*Table, error) {
 			Inputs: []string{"/corpus"}, OutputDir: "/out",
 			Mapper: mapper, Reducer: workloads.SumReducer, Combiner: workloads.SumReducer,
 			NumReducers: 4, Locality: locality, SlotsPerNode: 1,
-			TaskDelay: func(string, int) time.Duration { return splitIO },
+			ShuffleMemory: shuffleMem,
+			TaskDelay:     func(string, int) time.Duration { return splitIO },
 		})
 		return time.Since(start), res, err
 	}
@@ -103,7 +104,7 @@ func E6MapReduceScaling() (*Table, error) {
 	var rows [][]string
 	var t1 time.Duration
 	for _, n := range []int{1, 2, 4, 8} {
-		d, res, err := run(n, true)
+		d, res, err := run(n, true, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +120,7 @@ func E6MapReduceScaling() (*Table, error) {
 			fmt.Sprintf("%.0f%%", 100*localFrac),
 		})
 	}
-	dOff, resOff, err := run(8, false)
+	dOff, resOff, err := run(8, false, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +130,20 @@ func E6MapReduceScaling() (*Table, error) {
 		dOff.Round(time.Millisecond).String(),
 		fmt.Sprintf("%.2fx", float64(t1)/float64(dOff)),
 		fmt.Sprintf("%.0f%%", 100*offFrac)})
+
+	// External shuffle: the same 8-node job under a 4 KiB per-task
+	// spill budget, so every map task spills sorted runs to the DFS
+	// and reducers stream-merge them back.
+	dSpill, resSpill, err := run(8, true, 4*units.KiB)
+	if err != nil {
+		return nil, err
+	}
+	spillFrac := float64(resSpill.Counters.LocalTasks) /
+		float64(resSpill.Counters.LocalTasks+resSpill.Counters.RemoteTasks)
+	rows = append(rows, []string{"8 nodes, 4 KiB spill budget",
+		dSpill.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2fx", float64(t1)/float64(dSpill)),
+		fmt.Sprintf("%.0f%%", 100*spillFrac)})
 
 	// Project to the paper's cluster with the calibrated model.
 	m := facility.LSDFCluster()
@@ -141,8 +156,11 @@ func E6MapReduceScaling() (*Table, error) {
 		PaperClaim: "dedicated 60-node cluster, 110 TB HDFS, extreme scalability on commodity hardware",
 		Columns:    []string{"configuration", "wall time", "speedup", "data-local tasks"},
 		Rows:       rows,
-		Notes: "map tasks emulate 20 ms of split IO; speedup stays near-linear while splits " +
-			"outnumber slots, and rack-aware placement keeps most tasks data-local.",
+		Notes: fmt.Sprintf("map tasks emulate 20 ms of split IO; speedup stays near-linear while splits "+
+			"outnumber slots, and rack-aware placement keeps most tasks data-local. The spill row ran "+
+			"the external shuffle: %d sorted runs (%d bytes) written to the DFS and merged back, "+
+			"same output bytes as the in-memory rows.",
+			resSpill.Counters.SpillRuns, resSpill.Counters.SpillBytes),
 	}, nil
 }
 
@@ -224,11 +242,15 @@ func E9DNASequencing() (*Table, error) {
 	}
 	kdur := time.Since(start)
 
+	// The coverage job runs the memory-bounded path: a 16 KiB spill
+	// budget forces external sorted runs, and the streaming reducer
+	// folds each bucket's counts without materializing the group.
 	start = time.Now()
 	cres, err := mapreduce.Run(c, mapreduce.Config{
 		Inputs: []string{"/dna/reads"}, OutputDir: "/dna/cov",
-		Mapper: workloads.CoverageMapper(1000), Reducer: workloads.SumReducer,
+		Mapper: workloads.CoverageMapper(1000), StreamReducer: workloads.StreamSumReducer,
 		Combiner: workloads.SumReducer, NumReducers: 4, Locality: true,
+		ShuffleMemory: 16 * units.KiB,
 	})
 	if err != nil {
 		return nil, err
@@ -251,7 +273,9 @@ func E9DNASequencing() (*Table, error) {
 				fmt.Sprint(cres.Counters.ReduceGroups),
 				cdur.Round(time.Millisecond).String()},
 		},
-		Notes: "combiners collapse per-split duplicates before the shuffle — the same " +
-			"structure 2011 Hadoop genomics tools (Crossbow, Cloudburst) relied on.",
+		Notes: fmt.Sprintf("combiners collapse per-split duplicates before the shuffle — the same "+
+			"structure 2011 Hadoop genomics tools (Crossbow, Cloudburst) relied on. The coverage "+
+			"job ran under a 16 KiB shuffle budget with a streaming reducer: %d spill runs merged "+
+			"across %d streams.", cres.Counters.SpillRuns, cres.Counters.MergeStreams),
 	}, nil
 }

@@ -48,6 +48,12 @@ type Options struct {
 	// across the cluster — the write-pipeline fan-out (default
 	// 4×GOMAXPROCS).
 	DFSReplicaStreams int
+	// ShuffleMemory is the default per-map-task intermediate buffer
+	// for MapReduce jobs run through the facility: tasks exceeding it
+	// spill sorted runs to the analysis cluster's DFS and reducers
+	// stream-merge them back. 0 keeps jobs fully in memory; a job's
+	// own Config.ShuffleMemory overrides it.
+	ShuffleMemory units.Bytes
 	// AsyncWorkflows > 0 runs triggered workflows on that many workers.
 	AsyncWorkflows int
 	// MetadataShards overrides the metadata store's shard count
@@ -98,6 +104,8 @@ type Facility struct {
 	// /s3 the slide-14 object store (versioned).
 	DDN, IBM, Archive *adal.MemFS
 	ObjectStore       *objectstore.Store
+
+	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
 
 // New assembles a facility.
@@ -147,14 +155,15 @@ func New(opts Options) (*Facility, error) {
 		QueueLen: opts.EventQueue,
 	})
 	f := &Facility{
-		Layer:       layer,
-		Meta:        meta,
-		Browser:     databrowser.New(layer, meta),
-		DFS:         cluster,
-		DDN:         ddn,
-		IBM:         ibm,
-		Archive:     arc,
-		ObjectStore: objStore,
+		Layer:         layer,
+		Meta:          meta,
+		Browser:       databrowser.New(layer, meta),
+		DFS:           cluster,
+		DDN:           ddn,
+		IBM:           ibm,
+		Archive:       arc,
+		ObjectStore:   objStore,
+		shuffleMemory: opts.ShuffleMemory,
 	}
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
 	f.Rules = rules.NewEngine(layer, meta)
@@ -177,6 +186,12 @@ func (f *Facility) Close() {
 }
 
 // RunJob executes a MapReduce job on the facility's analysis cluster.
+// Jobs whose ShuffleMemory is zero inherit the facility's default
+// spill budget (Options.ShuffleMemory); a negative ShuffleMemory
+// opts the job out, forcing the pure in-memory shuffle.
 func (f *Facility) RunJob(cfg mapreduce.Config) (*mapreduce.Result, error) {
+	if cfg.ShuffleMemory == 0 {
+		cfg.ShuffleMemory = f.shuffleMemory
+	}
 	return mapreduce.Run(f.DFS, cfg)
 }

@@ -144,6 +144,43 @@ func TestFacilityMapReduceOnHDFSMount(t *testing.T) {
 	}
 }
 
+// Options.ShuffleMemory is the facility-wide spill default: jobs that
+// don't set their own budget inherit it and run the external shuffle.
+func TestFacilityShuffleMemoryDefault(t *testing.T) {
+	f, err := New(Options{DFSBlockSize: 256, ShuffleMemory: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var corpus strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&corpus, "spill test words line%d\n", i%13)
+	}
+	if err := f.DFS.WriteFile("/corpus", "", []byte(corpus.String())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.RunJob(mapreduce.Config{
+		Inputs: []string{"/corpus"}, OutputDir: "/out",
+		Mapper: mapreduce.MapperFunc(func(_ string, v []byte, emit mapreduce.Emit) error {
+			for _, word := range strings.Fields(string(v)) {
+				emit(word, []byte("1"))
+			}
+			return nil
+		}),
+		Reducer: workloads.SumReducer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.SpillRuns == 0 {
+		t.Fatalf("facility ShuffleMemory default not inherited: %+v", res.Counters)
+	}
+	out, _ := mapreduce.ReadTextOutput(f.DFS, res.OutputFiles)
+	if out["spill"][0] != "200" {
+		t.Fatalf("wordcount = %v", out)
+	}
+}
+
 func TestScenarioIngestSustains2TBPerDay(t *testing.T) {
 	s, err := NewScenario(ScenarioConfig{})
 	if err != nil {

@@ -6,12 +6,23 @@
 // paper's era of Hadoop relied on: block-sized input splits,
 // data-local task placement, per-task combiners, hash partitioning,
 // sorted shuffles and speculative execution for stragglers.
+//
+// The shuffle is an external sort-spill-merge: map tasks accumulate
+// partitioned, sorted runs up to Config.ShuffleMemory and spill
+// overflow runs as length-prefixed segment files into the DFS; reduce
+// tasks k-way heap-merge in-memory runs with DFS spill readers and
+// stream grouped values to the reducer, so intermediate volume is
+// bounded by the configured budget instead of the heap. See DESIGN.md
+// §6 for the spill format and merge invariants.
 package mapreduce
 
 import (
 	"hash/fnv"
+	"io"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/units"
 )
 
 // Emit publishes one intermediate or output key/value pair. The value
@@ -44,6 +55,27 @@ func (f ReducerFunc) Reduce(key string, values [][]byte, emit Emit) error {
 	return f(key, values, emit)
 }
 
+// StreamReducer folds one key's values as they stream out of the
+// shuffle merge, without the framework materializing the group as a
+// [][]byte first — the memory-bounded reduce interface. Slices
+// returned by values.Next remain valid after the next call, so
+// implementations may retain them; implementations that don't keep
+// the group's memory footprint at O(1).
+//
+// A Config sets either Reducer or StreamReducer, not both; a plain
+// Reducer runs through an internal adapter that collects the group.
+type StreamReducer interface {
+	ReduceStream(key string, values *Values, emit Emit) error
+}
+
+// StreamReducerFunc adapts a function to the StreamReducer interface.
+type StreamReducerFunc func(key string, values *Values, emit Emit) error
+
+// ReduceStream implements StreamReducer.
+func (f StreamReducerFunc) ReduceStream(key string, values *Values, emit Emit) error {
+	return f(key, values, emit)
+}
+
 // InputFormat selects how splits become records.
 type InputFormat int
 
@@ -62,15 +94,28 @@ const (
 
 // Config describes one job.
 type Config struct {
-	Name        string
-	Inputs      []string // dfs paths
-	OutputDir   string   // dfs prefix; reducers write OutputDir/part-NNNNN
-	Mapper      Mapper
-	Reducer     Reducer // nil = identity (sorted map output passes through)
-	Combiner    Reducer // optional, runs over each map task's output
-	NumReducers int     // default 1
-	MapOnly     bool    // skip shuffle/reduce; write part-m files (NumReduceTasks=0)
-	Format      InputFormat
+	Name          string
+	Inputs        []string // dfs paths
+	OutputDir     string   // dfs prefix; reducers write OutputDir/part-NNNNN
+	Mapper        Mapper
+	Reducer       Reducer       // nil = identity (sorted map output passes through)
+	StreamReducer StreamReducer // streaming alternative to Reducer; set at most one
+	Combiner      Reducer       // optional, runs over each map task's output
+	NumReducers   int           // default 1
+	MapOnly       bool          // skip shuffle/reduce; write part-m files (NumReduceTasks=0)
+	Format        InputFormat
+
+	// ShuffleMemory bounds the intermediate pairs a map task holds in
+	// memory. When the accumulated key+value bytes (plus per-record
+	// overhead) reach the budget, the task sorts, combines and spills
+	// the run as a segment file into the DFS; reduce tasks merge the
+	// spilled runs back with streaming readers. <= 0 means unbounded
+	// (the pure in-memory shuffle); note that facility.RunJob treats 0
+	// as "inherit the facility default" — pass a negative value there
+	// to force the in-memory shuffle explicitly. Output bytes are
+	// identical either way for jobs whose combiner (if any) is
+	// associative — Hadoop's combiner contract.
+	ShuffleMemory units.Bytes
 
 	SlotsPerNode int  // concurrent tasks per node; default 2 (Hadoop default)
 	Locality     bool // prefer scheduling map tasks onto replica holders
@@ -85,6 +130,14 @@ type Config struct {
 	// before a map attempt runs. It exists for straggler and failure
 	// experiments; production jobs leave it nil.
 	TaskDelay func(node string, task int) time.Duration
+
+	// Test seams for the reduce phase, set only from package tests.
+	// reduceHook observes one reduce attempt starting on a node and
+	// returns a callback invoked when the attempt finishes (nil to
+	// skip). reduceWriter wraps the attempt's DFS output writer, the
+	// injection point for induced write failures.
+	reduceHook   func(part, attempt int, node string) func()
+	reduceWriter func(part, attempt int, node string, w io.Writer) io.Writer
 }
 
 func (c *Config) withDefaults() Config {
@@ -107,6 +160,19 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// streamingReducer resolves the configured reduce function to the
+// streaming interface the merge drives: StreamReducer as-is, a plain
+// Reducer through the collecting adapter, neither as identity.
+func (c *Config) streamingReducer() StreamReducer {
+	if c.StreamReducer != nil {
+		return c.StreamReducer
+	}
+	if c.Reducer != nil {
+		return streamAdapter{c.Reducer}
+	}
+	return identityStreamReducer{}
+}
+
 // Counters are the job's observable metrics, updated atomically while
 // the job runs.
 type Counters struct {
@@ -122,8 +188,11 @@ type Counters struct {
 	RemoteTasks      int64
 	SpecLaunched     int64 // speculative attempts started
 	SpecWon          int64 // tasks whose speculative attempt committed first
-	Retries          int64 // attempts re-run after errors
+	Retries          int64 // attempts re-run after errors (map and reduce)
 	ShuffleBytes     int64 // intermediate volume fed to reducers
+	SpillRuns        int64 // sorted runs spilled to the DFS by map tasks
+	SpillBytes       int64 // bytes written into spill segment files
+	MergeStreams     int64 // run streams opened by shuffle merges
 }
 
 func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
@@ -145,6 +214,9 @@ func (c *Counters) snapshot() Counters {
 		SpecWon:          atomic.LoadInt64(&c.SpecWon),
 		Retries:          atomic.LoadInt64(&c.Retries),
 		ShuffleBytes:     atomic.LoadInt64(&c.ShuffleBytes),
+		SpillRuns:        atomic.LoadInt64(&c.SpillRuns),
+		SpillBytes:       atomic.LoadInt64(&c.SpillBytes),
+		MergeStreams:     atomic.LoadInt64(&c.MergeStreams),
 	}
 }
 

@@ -3,8 +3,10 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dfs"
@@ -31,22 +33,31 @@ type byteArena struct {
 
 const arenaChunkSize = 64 * 1024
 
-func (a *byteArena) copy(v []byte) []byte {
-	n := len(v)
+// alloc returns an n-byte slice carved from the current chunk. A
+// chunk is only ever appended to, never rewritten, so every returned
+// slice stays valid for as long as its holder keeps it; dropped
+// chunks go to the GC wholesale.
+func (a *byteArena) alloc(n int) []byte {
 	if n == 0 {
 		return nil
 	}
 	if n > arenaChunkSize/4 {
 		// Large values get their own allocation rather than wasting
 		// the tail of a chunk.
-		return append([]byte(nil), v...)
+		return make([]byte, n)
 	}
 	if cap(a.chunk)-len(a.chunk) < n {
 		a.chunk = make([]byte, 0, arenaChunkSize)
 	}
 	start := len(a.chunk)
-	a.chunk = append(a.chunk, v...)
+	a.chunk = a.chunk[:start+n]
 	return a.chunk[start : start+n : start+n]
+}
+
+func (a *byteArena) copy(v []byte) []byte {
+	buf := a.alloc(len(v))
+	copy(buf, v)
+	return buf
 }
 
 // attempt is one scheduled execution of a map task.
@@ -70,11 +81,14 @@ type engine struct {
 	nodes   []string
 	ctr     *Counters
 
+	shufDir  string       // dfs prefix for this job's spill files
+	spillSeq atomic.Int64 // unique suffix for spill file names
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	pending   []attempt
 	tasks     []taskState
-	mapOut    [][][]kv // [task][partition] -> pairs
+	mapOut    []*taskOutput // committed per-task intermediate output
 	done      int
 	failed    error
 	durations []time.Duration
@@ -85,6 +99,9 @@ func Run(cluster *dfs.Cluster, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Mapper == nil {
 		return nil, errors.New("mapreduce: job needs a Mapper")
+	}
+	if cfg.Reducer != nil && cfg.StreamReducer != nil {
+		return nil, errors.New("mapreduce: set either Reducer or StreamReducer, not both")
 	}
 	nodes := cluster.DataNodes()
 	if len(nodes) == 0 {
@@ -101,14 +118,16 @@ func Run(cluster *dfs.Cluster, cfg Config) (*Result, error) {
 		splits:  splits,
 		nodes:   nodes,
 		ctr:     &Counters{},
+		shufDir: fmt.Sprintf("%s/_shuffle-%d", trimDir(cfg.OutputDir), shuffleEpoch.Add(1)),
 		tasks:   make([]taskState, len(splits)),
-		mapOut:  make([][][]kv, len(splits)),
+		mapOut:  make([]*taskOutput, len(splits)),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range splits {
 		e.pending = append(e.pending, attempt{task: i})
 	}
 	e.ctr.add(&e.ctr.MapTasks, int64(len(splits)))
+	defer e.cleanupShuffle()
 
 	if err := e.runMapPhase(); err != nil {
 		return nil, err
@@ -163,7 +182,16 @@ func (e *engine) runMapPhase() error {
 	return err
 }
 
+// maxLocalitySkips bounds delay scheduling: a worker with no local
+// pending attempt yields this many times — letting a replica holder's
+// worker grab the task — before settling for a remote one (Zaharia et
+// al.'s delay scheduling, which 2011-era Hadoop used to keep map
+// tasks data-local). The bound guarantees progress: after the skips a
+// worker always takes FIFO.
+const maxLocalitySkips = 3
+
 func (e *engine) workerLoop(node string) {
+	skips := 0
 	for {
 		e.mu.Lock()
 		for len(e.pending) == 0 && e.done < len(e.splits) && e.failed == nil {
@@ -173,20 +201,36 @@ func (e *engine) workerLoop(node string) {
 			e.mu.Unlock()
 			return
 		}
-		att, ok := e.takeLocked(node)
+		att, ok := e.takeLocked(node, skips)
+		e.mu.Unlock()
 		if !ok {
-			e.mu.Unlock()
+			skips++
+			runtime.Gosched() // let a local worker in; bounded by maxLocalitySkips
 			continue
 		}
-		e.mu.Unlock()
+		skips = 0
 		e.runAttempt(node, att)
 	}
 }
 
 // takeLocked pops the best pending attempt for node: with locality
 // enabled, the first attempt whose split has a replica on node wins;
-// otherwise FIFO. Callers hold e.mu.
-func (e *engine) takeLocked(node string) (attempt, bool) {
+// with none and skip budget left it declines (delay scheduling);
+// otherwise FIFO. Speculative duplicates of already-committed tasks
+// are purged first, so a decline always means "yielding to a local
+// worker" and never burns the caller's skip budget on dead entries.
+// Callers hold e.mu.
+func (e *engine) takeLocked(node string, skips int) (attempt, bool) {
+	keep := e.pending[:0]
+	for _, att := range e.pending {
+		if !e.tasks[att.task].committed {
+			keep = append(keep, att)
+		}
+	}
+	e.pending = keep
+	if len(e.pending) == 0 {
+		return attempt{}, false
+	}
 	idx := -1
 	if e.cfg.Locality {
 		for i, att := range e.pending {
@@ -200,6 +244,9 @@ func (e *engine) takeLocked(node string) (attempt, bool) {
 				break
 			}
 		}
+		if idx < 0 && skips < maxLocalitySkips {
+			return attempt{}, false
+		}
 	}
 	local := idx >= 0
 	if idx < 0 {
@@ -207,10 +254,6 @@ func (e *engine) takeLocked(node string) (attempt, bool) {
 	}
 	att := e.pending[idx]
 	e.pending = append(e.pending[:idx], e.pending[idx+1:]...)
-	if e.tasks[att.task].committed {
-		// A speculative duplicate whose original already finished.
-		return attempt{}, false
-	}
 	st := &e.tasks[att.task]
 	st.launched++
 	st.running++
@@ -226,7 +269,8 @@ func (e *engine) takeLocked(node string) (attempt, bool) {
 }
 
 // runAttempt executes one map attempt and commits its output if it is
-// the first completion for the task.
+// the first completion for the task. Attempts that lose (a sibling
+// committed first) or fail delete any spill files they wrote.
 func (e *engine) runAttempt(node string, att attempt) {
 	if e.cfg.TaskDelay != nil {
 		if d := e.cfg.TaskDelay(node, att.task); d > 0 {
@@ -234,14 +278,14 @@ func (e *engine) runAttempt(node string, att attempt) {
 		}
 	}
 	started := time.Now()
-	parts, records, outRecords, err := e.executeMap(node, e.splits[att.task])
+	out, records, outRecords, err := e.executeMap(node, att.task, e.splits[att.task])
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	st := &e.tasks[att.task]
 	st.running--
 	if err != nil {
 		if st.committed {
+			e.mu.Unlock()
 			return // a sibling attempt already succeeded
 		}
 		if st.launched < e.cfg.MaxAttempts {
@@ -252,13 +296,24 @@ func (e *engine) runAttempt(node string, att attempt) {
 				att.task, st.launched, err)
 		}
 		e.cond.Broadcast()
+		e.mu.Unlock()
 		return
 	}
 	if st.committed {
-		return // lost the race; discard
+		e.mu.Unlock()
+		e.discardOutput(out) // lost the race; drop its spills
+		return
+	}
+	if e.failed != nil {
+		// The job already failed (another task exhausted its attempts);
+		// Run may have returned and cleaned up, so committing now would
+		// leak this attempt's spill files past cleanupShuffle.
+		e.mu.Unlock()
+		e.discardOutput(out)
+		return
 	}
 	st.committed = true
-	e.mapOut[att.task] = parts
+	e.mapOut[att.task] = out
 	e.done++
 	e.durations = append(e.durations, time.Since(started))
 	e.ctr.add(&e.ctr.InputRecords, records)
@@ -267,27 +322,101 @@ func (e *engine) runAttempt(node string, att attempt) {
 		e.ctr.add(&e.ctr.SpecWon, 1)
 	}
 	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
-// executeMap runs the mapper over one split and returns per-partition
-// output (combined if a combiner is configured).
-func (e *engine) executeMap(node string, s split) (parts [][]kv, records, outRecords int64, err error) {
-	r := e.cfg.NumReducers
-	parts = make([][]kv, r)
-	var arena byteArena
+// mapCollector accumulates a map attempt's partitioned output under
+// the shuffle memory budget, spilling sorted runs to the DFS when the
+// budget fills. It is per-attempt and single-goroutine.
+type mapCollector struct {
+	e     *engine
+	node  string
+	task  int
+	parts [][]kv
+	arena byteArena
+	mem   int64
+	err   error // first spill/combine failure; latched
+	out   taskOutput
+}
+
+func (c *mapCollector) add(key string, value []byte) {
+	p := partition(key, len(c.parts))
+	c.parts[p] = append(c.parts[p], kv{key: key, val: c.arena.copy(value)})
+	c.mem += int64(len(key)) + int64(len(value)) + kvOverhead
+	if budget := int64(c.e.cfg.ShuffleMemory); budget > 0 && c.mem >= budget {
+		c.spill()
+	}
+}
+
+// spill sorts+combines the buffered run, writes it to the DFS and
+// resets the buffer. Errors latch into c.err; the attempt surfaces
+// them after the mapper returns.
+func (c *mapCollector) spill() {
+	if c.err != nil {
+		return
+	}
+	parts, err := c.e.sortAndCombine(c.parts)
+	if err != nil {
+		c.err = err
+		return
+	}
+	run, err := c.e.writeSpill(c.node, c.task, parts)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.out.spills = append(c.out.spills, run)
+	c.parts = make([][]kv, len(c.parts))
+	c.arena = byteArena{}
+	c.mem = 0
+}
+
+// finish sorts+combines the final run, which stays in memory.
+func (c *mapCollector) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	parts, err := c.e.sortAndCombine(c.parts)
+	if err != nil {
+		return err
+	}
+	c.out.mem = parts
+	return nil
+}
+
+// executeMap runs the mapper over one split and returns the task's
+// output: spilled runs plus the final in-memory run, each sorted and
+// combined. On error, spill files already written are deleted.
+func (e *engine) executeMap(node string, task int, s split) (out *taskOutput, records, outRecords int64, err error) {
+	col := &mapCollector{e: e, node: node, task: task, parts: make([][]kv, e.cfg.NumReducers)}
 	emit := func(key string, value []byte) {
-		p := partition(key, r)
-		parts[p] = append(parts[p], kv{key: key, val: arena.copy(value)})
+		if col.err != nil {
+			return // a spill failed; drop further output
+		}
+		col.add(key, value)
 		outRecords++
 	}
 	err = readRecords(e.cluster, s, e.cfg.Format, node, func(key string, value []byte) error {
 		records++
-		return e.cfg.Mapper.Map(key, value, emit)
+		if merr := e.cfg.Mapper.Map(key, value, emit); merr != nil {
+			return merr
+		}
+		return col.err // abort the record loop on spill failure
 	})
+	if err == nil {
+		err = col.finish()
+	}
 	if err != nil {
+		e.discardOutput(&col.out)
 		return nil, 0, 0, err
 	}
-	// Map-side sort (stable: preserves emission order within a key).
+	return &col.out, records, outRecords, nil
+}
+
+// sortAndCombine stable-sorts each partition by key (preserving
+// emission order within a key) and folds it through the combiner if
+// one is configured.
+func (e *engine) sortAndCombine(parts [][]kv) ([][]kv, error) {
 	for p := range parts {
 		sort.SliceStable(parts[p], func(i, j int) bool { return parts[p][i].key < parts[p][j].key })
 	}
@@ -295,12 +424,12 @@ func (e *engine) executeMap(node string, s split) (parts [][]kv, records, outRec
 		for p := range parts {
 			combined, cerr := e.combine(parts[p])
 			if cerr != nil {
-				return nil, 0, 0, cerr
+				return nil, cerr
 			}
 			parts[p] = combined
 		}
 	}
-	return parts, records, outRecords, nil
+	return parts, nil
 }
 
 // combine folds a sorted run of pairs through the combiner.

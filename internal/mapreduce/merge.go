@@ -1,0 +1,214 @@
+package mapreduce
+
+import "container/heap"
+
+// The shuffle merge: every committed map task contributes its runs
+// for one partition — spilled segments streamed from the DFS plus the
+// final in-memory run — and a k-way heap merge interleaves them into
+// one key-ordered record stream. Ties on the key break by (task, run)
+// sequence, which makes the merged value order per key exactly
+// (map task index, emission order): the same order the pure in-memory
+// shuffle produces by concatenating tasks in index order and stable
+// sorting, so spilled and in-memory jobs emit identical bytes.
+
+// kvStream yields one run's records in sorted order. next reports
+// ok=false at end of run; returned slices stay valid after the next
+// call (memory runs point into task arenas, spill cursors decode into
+// chunked arenas).
+type kvStream interface {
+	next() (key string, val []byte, ok bool, err error)
+}
+
+// memStream cursors over an in-memory run.
+type memStream struct {
+	pairs []kv
+	i     int
+}
+
+func (s *memStream) next() (string, []byte, bool, error) {
+	if s.i >= len(s.pairs) {
+		return "", nil, false, nil
+	}
+	p := s.pairs[s.i]
+	s.i++
+	return p.key, p.val, true, nil
+}
+
+// mergeSource is one run stream plus its deterministic tie-break
+// position: the owning map task's index and the run's index within
+// that task (spills in spill order, the in-memory run last).
+type mergeSource struct {
+	s         kvStream
+	task, run int
+}
+
+// mergeItem is a heap entry: the head record of one run stream.
+type mergeItem struct {
+	key       string
+	val       []byte
+	src       kvStream
+	task, run int
+}
+
+// merger is the k-way merge heap. It is driven single-goroutine by
+// one reduce (or map-only) task.
+type merger struct {
+	items []*mergeItem
+	bytes int64 // key+value bytes popped; the task's shuffle volume
+}
+
+var _ heap.Interface = (*merger)(nil)
+
+// Len implements heap.Interface.
+func (m *merger) Len() int { return len(m.items) }
+
+// Less implements heap.Interface: key order, ties by (task, run).
+func (m *merger) Less(i, j int) bool {
+	a, b := m.items[i], m.items[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	if a.task != b.task {
+		return a.task < b.task
+	}
+	return a.run < b.run
+}
+
+// Swap implements heap.Interface.
+func (m *merger) Swap(i, j int) { m.items[i], m.items[j] = m.items[j], m.items[i] }
+
+// Push implements heap.Interface.
+func (m *merger) Push(x any) { m.items = append(m.items, x.(*mergeItem)) }
+
+// Pop implements heap.Interface.
+func (m *merger) Pop() any {
+	old := m.items
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	m.items = old[:n-1]
+	return it
+}
+
+// newMerger primes the heap with each stream's head record. Streams
+// that error during priming abort the merge.
+func newMerger(srcs []mergeSource) (*merger, error) {
+	m := &merger{}
+	for _, sc := range srcs {
+		k, v, ok, err := sc.s.next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		m.items = append(m.items, &mergeItem{key: k, val: v, src: sc.s, task: sc.task, run: sc.run})
+	}
+	heap.Init(m)
+	return m, nil
+}
+
+// peek returns the smallest head record without consuming it.
+func (m *merger) peek() (*mergeItem, bool) {
+	if len(m.items) == 0 {
+		return nil, false
+	}
+	return m.items[0], true
+}
+
+// pop consumes the smallest record and refills its stream's heap slot.
+func (m *merger) pop() (string, []byte, error) {
+	it := m.items[0]
+	key, val := it.key, it.val
+	m.bytes += int64(len(key) + len(val))
+	k, v, ok, err := it.src.next()
+	if err != nil {
+		return "", nil, err
+	}
+	if ok {
+		it.key, it.val = k, v
+		heap.Fix(m, 0)
+	} else {
+		heap.Pop(m)
+	}
+	return key, val, nil
+}
+
+// Values streams one key's values to a StreamReducer in merge order.
+// Slices returned by Next remain valid after subsequent calls, so a
+// reducer may retain them (the Reducer adapter does). After the
+// reducer returns, the engine drains any unconsumed values and checks
+// Err, so reducers may stop early.
+type Values struct {
+	m   *merger
+	key string
+	err error
+}
+
+// Next returns the group's next value, or ok=false when the group
+// (or the stream, on error — check Err) is exhausted.
+func (v *Values) Next() ([]byte, bool) {
+	if v.err != nil {
+		return nil, false
+	}
+	it, ok := v.m.peek()
+	if !ok || it.key != v.key {
+		return nil, false
+	}
+	_, val, err := v.m.pop()
+	if err != nil {
+		v.err = err
+		return nil, false
+	}
+	return val, true
+}
+
+// Err reports a merge read failure (a spill segment that could not be
+// streamed). A reducer that sees Next return false should surface
+// Err; the engine checks it regardless.
+func (v *Values) Err() error { return v.err }
+
+// drain consumes the rest of the group so the merge can advance to
+// the next key even when the reducer stopped early.
+func (v *Values) drain() {
+	for {
+		if _, ok := v.Next(); !ok {
+			return
+		}
+	}
+}
+
+// streamAdapter runs a [][]byte Reducer on the streaming merge by
+// collecting the group first — the compatibility path; memory for the
+// group is O(group) where a true StreamReducer is O(1).
+type streamAdapter struct{ r Reducer }
+
+func (a streamAdapter) ReduceStream(key string, values *Values, emit Emit) error {
+	var vals [][]byte
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		vals = append(vals, v)
+	}
+	if err := values.Err(); err != nil {
+		return err
+	}
+	return a.r.Reduce(key, vals, emit)
+}
+
+// identityStreamReducer passes every value through under its key —
+// the nil-Reducer default, now streaming.
+type identityStreamReducer struct{}
+
+func (identityStreamReducer) ReduceStream(key string, values *Values, emit Emit) error {
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		emit(key, v)
+	}
+	return values.Err()
+}

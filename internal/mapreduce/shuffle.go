@@ -1,47 +1,43 @@
 package mapreduce
 
 import (
-	"bytes"
 	"fmt"
-	"sort"
+	"io"
 	"strings"
 	"sync"
 
 	"repro/internal/dfs"
 )
 
-// runReducePhase shuffles each partition's intermediate pairs into a
+// runReducePhase merges each partition's intermediate runs into a
 // reducer and writes one part file per reducer to the dfs. Reduce
-// tasks are assigned to nodes round-robin and run under the same
-// per-node slot budget as map tasks.
+// workers honor the same per-node slot budget as map tasks: each node
+// gets SlotsPerNode workers bound to it, pulling partitions from a
+// shared queue, and a partition's output lands on the node that ran
+// it (the write hint).
 func (e *engine) runReducePhase() ([]string, error) {
 	r := e.cfg.NumReducers
 	e.ctr.add(&e.ctr.ReduceTasks, int64(r))
 
-	type job struct{ part int }
-	jobs := make(chan job)
+	jobs := make(chan int)
 	outputs := make([]string, r)
 	errs := make([]error, r)
 	var wg sync.WaitGroup
-
-	workers := len(e.nodes) * e.cfg.SlotsPerNode
-	if workers > r {
-		workers = r
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				node := e.nodes[j.part%len(e.nodes)]
-				name, err := e.runReduceTask(j.part, node)
-				outputs[j.part] = name
-				errs[j.part] = err
-			}
-		}()
+	for _, node := range e.nodes {
+		for s := 0; s < e.cfg.SlotsPerNode; s++ {
+			wg.Add(1)
+			go func(node string) {
+				defer wg.Done()
+				for p := range jobs {
+					name, err := e.runReduceTask(p, node)
+					outputs[p] = name
+					errs[p] = err
+				}
+			}(node)
+		}
 	}
 	for p := 0; p < r; p++ {
-		jobs <- job{part: p}
+		jobs <- p
 	}
 	close(jobs)
 	wg.Wait()
@@ -53,73 +49,160 @@ func (e *engine) runReducePhase() ([]string, error) {
 	return outputs, nil
 }
 
-// runReduceTask merges partition p from every map task, groups by key
-// and writes the reducer output as "key\tvalue" lines.
+// runReduceTask runs partition p to completion with the same
+// fault-tolerance contract as map tasks: up to MaxAttempts attempts,
+// each re-reading the spill segments from scratch, with the partial
+// output of a failed attempt deleted before the next one. Exhausted
+// attempts surface the last error, wrapped.
 func (e *engine) runReduceTask(p int, node string) (string, error) {
-	// Merge in task-index order, then stable sort: value order within
-	// a key is (map task, emission order), independent of scheduling.
-	var merged []kv
-	var shuffled int64
-	for t := range e.mapOut {
-		part := e.mapOut[t]
-		if p < len(part) {
-			merged = append(merged, part[p]...)
-			for _, pair := range part[p] {
-				shuffled += int64(len(pair.key) + len(pair.val))
-			}
+	name := fmt.Sprintf("%s/part-%05d", trimDir(e.cfg.OutputDir), p)
+	var lastErr error
+	for attempt := 1; attempt <= e.cfg.MaxAttempts; attempt++ {
+		err := e.reduceAttempt(p, node, attempt, name)
+		if err == nil {
+			return name, nil
+		}
+		lastErr = err
+		if attempt < e.cfg.MaxAttempts {
+			e.ctr.add(&e.ctr.Retries, 1)
 		}
 	}
-	e.ctr.add(&e.ctr.ShuffleBytes, shuffled)
-	sort.SliceStable(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	return "", fmt.Errorf("mapreduce: reduce task %d failed after %d attempts: %w",
+		p, e.cfg.MaxAttempts, lastErr)
+}
 
-	var buf bytes.Buffer
-	var outRecords int64
+// reduceAttempt streams partition p once: open every committed map
+// task's runs for the partition, k-way merge them, feed grouped
+// values to the streaming reducer, and write "key\tvalue" lines
+// incrementally through a dfs.FileWriter. Counters commit only on
+// success so retries never double-count.
+func (e *engine) reduceAttempt(p int, node string, attempt int, name string) (err error) {
+	if e.cfg.reduceHook != nil {
+		if done := e.cfg.reduceHook(p, attempt, node); done != nil {
+			defer done()
+		}
+	}
+	m, closeStreams, err := e.openPartition(p, node)
+	if err != nil {
+		return err
+	}
+	defer closeStreams()
+
+	w, err := e.cluster.Create(name, node)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = w.Close() // idempotent; releases the pooled block buffer
+			_ = e.cluster.Delete(name)
+		}
+	}()
+	out := io.Writer(w)
+	if e.cfg.reduceWriter != nil {
+		out = e.cfg.reduceWriter(p, attempt, node, w)
+	}
+
+	var outRecords, groups int64
+	var werr error
+	var line []byte
 	emit := func(key string, value []byte) {
-		buf.WriteString(key)
-		buf.WriteByte('\t')
-		buf.Write(value)
-		buf.WriteByte('\n')
+		if werr != nil {
+			return
+		}
+		line = append(line[:0], key...)
+		line = append(line, '\t')
+		line = append(line, value...)
+		line = append(line, '\n')
+		if _, e2 := out.Write(line); e2 != nil {
+			werr = e2
+			return
+		}
 		outRecords++
 	}
-	reducer := e.cfg.Reducer
-	if reducer == nil {
-		reducer = identityReducer{}
-	}
-	i := 0
-	var groups int64
-	for i < len(merged) {
-		j := i
-		for j < len(merged) && merged[j].key == merged[i].key {
-			j++
+
+	red := e.cfg.streamingReducer()
+	for {
+		head, ok := m.peek()
+		if !ok {
+			break
 		}
-		vals := make([][]byte, 0, j-i)
-		for _, pair := range merged[i:j] {
-			vals = append(vals, pair.val)
+		key := head.key
+		vals := &Values{m: m, key: key}
+		if rerr := red.ReduceStream(key, vals, emit); rerr != nil {
+			return fmt.Errorf("mapreduce: reduce partition %d key %q: %w", p, key, rerr)
+		}
+		vals.drain()
+		if vals.err != nil {
+			return vals.err
+		}
+		if werr != nil {
+			return werr
 		}
 		groups++
-		if err := reducer.Reduce(merged[i].key, vals, emit); err != nil {
-			return "", fmt.Errorf("mapreduce: reduce partition %d key %q: %w", p, merged[i].key, err)
-		}
-		i = j
+	}
+	if cerr := w.Close(); cerr != nil {
+		return cerr
 	}
 	e.ctr.add(&e.ctr.ReduceGroups, groups)
 	e.ctr.add(&e.ctr.OutputRecords, outRecords)
-
-	name := fmt.Sprintf("%s/part-%05d", strings.TrimRight(e.cfg.OutputDir, "/"), p)
-	if err := e.cluster.WriteFile(name, node, buf.Bytes()); err != nil {
-		return "", err
-	}
-	return name, nil
+	e.ctr.add(&e.ctr.ShuffleBytes, m.bytes)
+	return nil
 }
 
-// identityReducer passes every value through under its key.
-type identityReducer struct{}
-
-func (identityReducer) Reduce(key string, values [][]byte, emit Emit) error {
-	for _, v := range values {
-		emit(key, v)
+// appendTaskSources appends the merge sources for one task's
+// partition p: a streaming cursor per spilled run segment (empty
+// segments skipped), then the final in-memory run, carrying the
+// (task, run) tie-break indexes the merge's determinism relies on —
+// spills in spill order, the in-memory run last. Cursors opened
+// before a failure are still appended so the caller can close them.
+func (e *engine) appendTaskSources(srcs []mergeSource, cursors []*spillCursor,
+	out *taskOutput, task, p int, node string) ([]mergeSource, []*spillCursor, error) {
+	for ri, run := range out.spills {
+		cur, err := openSpillCursor(e.cluster, run, p, node)
+		if err != nil {
+			return srcs, cursors, err
+		}
+		if cur == nil {
+			continue // empty segment
+		}
+		cursors = append(cursors, cur)
+		srcs = append(srcs, mergeSource{s: cur, task: task, run: ri})
 	}
-	return nil
+	if p < len(out.mem) && len(out.mem[p]) > 0 {
+		srcs = append(srcs, mergeSource{s: &memStream{pairs: out.mem[p]}, task: task, run: len(out.spills)})
+	}
+	return srcs, cursors, nil
+}
+
+// openPartition builds the merge inputs for partition p across every
+// committed map task, in task index order.
+func (e *engine) openPartition(p int, node string) (*merger, func(), error) {
+	var srcs []mergeSource
+	var cursors []*spillCursor
+	closeAll := func() {
+		for _, c := range cursors {
+			c.close()
+		}
+	}
+	var err error
+	for t, out := range e.mapOut {
+		if out == nil {
+			continue
+		}
+		srcs, cursors, err = e.appendTaskSources(srcs, cursors, out, t, p, node)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+	}
+	e.ctr.add(&e.ctr.MergeStreams, int64(len(srcs)))
+	m, err := newMerger(srcs)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return m, closeAll, nil
 }
 
 // ReadTextOutput collects a finished job's part files into a map from

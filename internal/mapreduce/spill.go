@@ -1,0 +1,206 @@
+package mapreduce
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/dfs"
+)
+
+// Map-side spilling: when a map task's accumulated intermediate pairs
+// reach Config.ShuffleMemory, the task sorts (and combines) what it
+// holds and writes the run as one segment file into the DFS, then
+// starts a fresh run. A spill file holds every partition's segment
+// back to back; each segment is a sorted sequence of length-prefixed
+// records:
+//
+//	uvarint keyLen | uvarint valLen | key bytes | value bytes
+//
+// Per-partition geometry (offset, length, record count) is kept in
+// the engine's spillRun index rather than encoded in the file — the
+// engine that wrote a run is the one that merges it, so the index
+// never needs to survive a process.
+
+// kvOverhead is the accounting cost charged per buffered pair on top
+// of its key and value bytes: the string and slice headers plus sort
+// bookkeeping. It keeps tiny-record jobs honest about their footprint.
+const kvOverhead = 48
+
+// spillReadBuf is each merge cursor's streaming read buffer. Reduce
+// merge memory is O(streams × spillReadBuf + current group).
+const spillReadBuf = 32 * 1024
+
+// shuffleEpoch disambiguates the spill directories of engines that
+// share an OutputDir across a process's lifetime (reruns into the
+// same directory, back-to-back benchmark iterations).
+var shuffleEpoch atomic.Int64
+
+// spillSeg locates one partition's segment inside a spill file.
+type spillSeg struct {
+	off     int64
+	length  int64
+	records int
+}
+
+// spillRun is one sorted run on the DFS: the file plus each
+// partition's segment geometry.
+type spillRun struct {
+	file string
+	segs []spillSeg
+}
+
+// taskOutput is a committed map task's intermediate output: spilled
+// runs in spill order followed by the final in-memory run. Merge
+// order within a task is (run index, record index), which equals
+// emission order split across runs — what makes spilled and
+// in-memory jobs byte-identical.
+type taskOutput struct {
+	mem    [][]kv // final run, per partition; sorted (and combined)
+	spills []*spillRun
+}
+
+// writeSpill sorts nothing — parts must already be sorted/combined —
+// and streams one run into a new DFS file via the pooled block
+// writer, returning the run's segment index.
+func (e *engine) writeSpill(node string, task int, parts [][]kv) (*spillRun, error) {
+	seq := e.spillSeq.Add(1)
+	name := fmt.Sprintf("%s/spill-%05d-%06d", e.shufDir, task, seq)
+	w, err := e.cluster.Create(name, node)
+	if err != nil {
+		return nil, err
+	}
+	run := &spillRun{file: name, segs: make([]spillSeg, len(parts))}
+	var scratch []byte
+	var off int64
+	for p, pairs := range parts {
+		start := off
+		for _, pr := range pairs {
+			scratch = binary.AppendUvarint(scratch[:0], uint64(len(pr.key)))
+			scratch = binary.AppendUvarint(scratch, uint64(len(pr.val)))
+			scratch = append(scratch, pr.key...)
+			if _, err = w.Write(scratch); err == nil {
+				_, err = w.Write(pr.val)
+			}
+			if err != nil {
+				_ = w.Close()
+				_ = e.cluster.Delete(name)
+				return nil, fmt.Errorf("mapreduce: spill %s: %w", name, err)
+			}
+			off += int64(len(scratch) + len(pr.val))
+		}
+		run.segs[p] = spillSeg{off: start, length: off - start, records: len(pairs)}
+	}
+	if err := w.Close(); err != nil {
+		_ = e.cluster.Delete(name)
+		return nil, fmt.Errorf("mapreduce: spill %s: %w", name, err)
+	}
+	e.ctr.add(&e.ctr.SpillRuns, 1)
+	e.ctr.add(&e.ctr.SpillBytes, off)
+	return run, nil
+}
+
+// discardOutput deletes an uncommitted attempt's spill files — losing
+// speculative attempts and failed attempts clean up after themselves.
+func (e *engine) discardOutput(out *taskOutput) {
+	if out == nil {
+		return
+	}
+	for _, run := range out.spills {
+		_ = e.cluster.Delete(run.file)
+	}
+}
+
+// cleanupShuffle deletes every committed task's spill files once the
+// job is over (success or failure). It holds e.mu because straggler
+// attempts of a failed job may still be finishing: they observe
+// e.failed under the same lock and discard their own output instead
+// of committing, so every spill file has exactly one owner.
+func (e *engine) cleanupShuffle() {
+	if e.spillSeq.Load() == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, out := range e.mapOut {
+		e.discardOutput(out)
+	}
+}
+
+// spillCursor streams one partition's segment of one spill run in
+// sorted order. Decoded values are allocated from a chunked arena, so
+// slices handed to the merge stay valid after the cursor advances —
+// the contract Values.Next exposes to reducers.
+type spillCursor struct {
+	r      *dfs.FileReader
+	br     *bufio.Reader
+	file   string
+	left   int
+	arena  byteArena
+	keyBuf []byte
+}
+
+// openSpillCursor positions a streaming reader over run's segment for
+// partition p. Returns nil for an empty segment.
+func openSpillCursor(cluster *dfs.Cluster, run *spillRun, p int, node string) (*spillCursor, error) {
+	seg := run.segs[p]
+	if seg.records == 0 {
+		return nil, nil
+	}
+	r, err := cluster.Open(run.file, node)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: open spill %s: %w", run.file, err)
+	}
+	sec := io.NewSectionReader(r, seg.off, seg.length)
+	// Small segments get right-sized buffers: a merge over thousands
+	// of tiny runs should not cost spillReadBuf each.
+	sz := spillReadBuf
+	if seg.length < int64(sz) {
+		sz = int(seg.length)
+	}
+	return &spillCursor{
+		r:    r,
+		br:   bufio.NewReaderSize(sec, sz),
+		file: run.file,
+		left: seg.records,
+	}, nil
+}
+
+func (c *spillCursor) next() (string, []byte, bool, error) {
+	if c.left == 0 {
+		return "", nil, false, nil
+	}
+	kl, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return "", nil, false, c.corrupt(err)
+	}
+	vl, err := binary.ReadUvarint(c.br)
+	if err != nil {
+		return "", nil, false, c.corrupt(err)
+	}
+	if cap(c.keyBuf) < int(kl) {
+		c.keyBuf = make([]byte, kl)
+	}
+	kb := c.keyBuf[:kl]
+	if _, err := io.ReadFull(c.br, kb); err != nil {
+		return "", nil, false, c.corrupt(err)
+	}
+	val := c.arena.alloc(int(vl))
+	if _, err := io.ReadFull(c.br, val); err != nil {
+		return "", nil, false, c.corrupt(err)
+	}
+	c.left--
+	return string(kb), val, true, nil
+}
+
+func (c *spillCursor) corrupt(err error) error {
+	return fmt.Errorf("mapreduce: spill segment %s: %w", c.file, err)
+}
+
+func (c *spillCursor) close() {
+	if c.r != nil {
+		_ = c.r.Close()
+	}
+}
