@@ -1,4 +1,4 @@
-// Benchmarks: one per reproduced table/figure (E1-E12, see DESIGN.md
+// Benchmarks: one per reproduced table/figure (E1-E13, see DESIGN.md
 // §4 and EXPERIMENTS.md). Each benchmark regenerates its experiment
 // and reports the headline quantity as a custom metric, so
 // `go test -bench=.` re-derives the paper's evaluation end to end.
@@ -110,6 +110,13 @@ func BenchmarkE11Growth(b *testing.B) {
 // replication and integrity auditing.
 func BenchmarkE12Rules(b *testing.B) {
 	run(b, experiments.E12Rules)
+}
+
+// BenchmarkE13TieredDataPath regenerates slide 6 on the live path:
+// watermark migration under sustained ingest plus transparent,
+// deduplicated recall.
+func BenchmarkE13TieredDataPath(b *testing.B) {
+	run(b, experiments.E13TieredDataPath)
 }
 
 // BenchmarkTransferArithmetic isolates the fluid-model core of E5 so

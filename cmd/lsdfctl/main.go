@@ -9,6 +9,15 @@
 //	lsdfctl -state /tmp/lsdf query -project zebrafish -tag raw
 //	lsdfctl -state /tmp/lsdf tag /data/img1.raw analyze
 //	lsdfctl -state /tmp/lsdf stat /data/img1.raw
+//	lsdfctl -state /tmp/lsdf tier
+//	lsdfctl -state /tmp/lsdf tier migrate /data/img1.raw
+//
+// The object namespace is a live tiered data path: objects/ is the
+// hot tier, cold/ the cold one. "tier migrate" replaces an object's
+// hot bytes with a self-describing stub; any later read (or "tier
+// recall") brings them back transparently and checksum-verified.
+// Placement survives invocations because the stubs are recovered on
+// startup.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/tiering"
 )
 
 func main() {
@@ -45,25 +55,43 @@ commands:
   tag PATH TAG                tag a dataset
   untag PATH TAG              remove a tag
   query [-project P] [-tag T] find datasets
-  export                      dump the metadata DB as JSON to stdout`)
+  export                      dump the metadata DB as JSON to stdout
+  tier                        show per-object tier placement and counters
+  tier migrate PATH           move an object to the cold tier (stub stays)
+  tier recall PATH            bring a migrated object's bytes back
+  tier pin PATH               exempt an object from migration (this run)
+  tier unpin PATH             re-admit an object to migration`)
 }
 
 type ctl struct {
 	layer *adal.Layer
 	meta  *metadata.Store
+	tier  *tiering.TierBackend
 	path  string // metadata dump location
 }
 
 func open(state string) (*ctl, error) {
-	if err := os.MkdirAll(filepath.Join(state, "objects"), 0o755); err != nil {
+	for _, dir := range []string{"objects", "cold"} {
+		if err := os.MkdirAll(filepath.Join(state, dir), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	hot, err := adal.NewLocalFS("posix", filepath.Join(state, "objects"))
+	if err != nil {
 		return nil, err
 	}
-	local, err := adal.NewLocalFS("posix", filepath.Join(state, "objects"))
+	cold, err := adal.NewLocalFS("cold", filepath.Join(state, "cold"))
+	if err != nil {
+		return nil, err
+	}
+	// No hot capacity: the CLI migrates on demand, not by watermark.
+	// Recovery rebuilds placement from the stubs in objects/.
+	tier, err := tiering.New("tier", hot, cold, tiering.Config{})
 	if err != nil {
 		return nil, err
 	}
 	layer := adal.NewLayer()
-	if err := layer.Mount("/", local); err != nil {
+	if err := layer.Mount("/", tier); err != nil {
 		return nil, err
 	}
 	meta := metadata.NewStore()
@@ -74,7 +102,7 @@ func open(state string) (*ctl, error) {
 			return nil, fmt.Errorf("loading %s: %w", dump, err)
 		}
 	}
-	return &ctl{layer: layer, meta: meta, path: dump}, nil
+	return &ctl{layer: layer, meta: meta, tier: tier, path: dump}, nil
 }
 
 func (c *ctl) save() error {
@@ -98,8 +126,11 @@ func run(state string, args []string) error {
 	if err != nil {
 		return err
 	}
+	defer c.tier.Close()
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "tier":
+		return c.tierCmd(rest)
 	case "ingest":
 		return c.ingest(rest)
 	case "ls":
@@ -219,6 +250,53 @@ func (c *ctl) query(args []string) error {
 	}
 	for _, ds := range c.meta.Find(q) {
 		fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
+	}
+	return nil
+}
+
+func (c *ctl) tierCmd(args []string) error {
+	if len(args) == 0 {
+		st := c.tier.Stats()
+		fmt.Printf("hot: %d resident + %d premigrated, cold: %d migrated (%d pinned)\n",
+			st.Resident, st.Premigrated, st.Migrated, st.Pinned)
+		fmt.Printf("lifetime: %d premigrations, %d migrations (%s), %d recalls (%s)\n",
+			st.Premigrations, st.Migrations, st.MigratedBytes.SI(), st.Recalls, st.RecallBytes.SI())
+		for _, e := range c.tier.Entries() {
+			mark := ""
+			if e.Pinned {
+				mark = " [pinned]"
+			}
+			fmt.Printf("%-12s  %-10s  %s%s\n", e.State, e.Size.SI(), e.Path, mark)
+		}
+		return nil
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("tier: need SUBCOMMAND PATH (or no args for status)")
+	}
+	sub, path := args[0], args[1]
+	switch sub {
+	case "migrate":
+		if err := c.tier.Migrate(path); err != nil {
+			return err
+		}
+		fmt.Printf("migrated %s to cold tier\n", path)
+	case "recall":
+		if err := c.tier.Recall(path); err != nil {
+			return err
+		}
+		fmt.Printf("recalled %s to hot tier\n", path)
+	case "pin":
+		if err := c.tier.Pin(path); err != nil {
+			return err
+		}
+		fmt.Printf("pinned %s (in-memory; lasts for this invocation's scans)\n", path)
+	case "unpin":
+		if err := c.tier.Unpin(path); err != nil {
+			return err
+		}
+		fmt.Printf("unpinned %s\n", path)
+	default:
+		return fmt.Errorf("tier: unknown subcommand %q", sub)
 	}
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"time"
 
 	"repro/internal/dfs"
 )
@@ -52,7 +51,9 @@ func (b *DFSBackend) Open(path string) (io.ReadCloser, error) {
 	return r, nil
 }
 
-// Stat implements Backend.
+// Stat implements Backend, including the file's modification time —
+// migration policies order candidates oldest-first, so a zero mtime
+// here would make every DFS-backed file look infinitely old.
 func (b *DFSBackend) Stat(path string) (FileInfo, error) {
 	info, err := b.cluster.Stat(path)
 	if err != nil {
@@ -61,14 +62,20 @@ func (b *DFSBackend) Stat(path string) (FileInfo, error) {
 		}
 		return FileInfo{}, err
 	}
-	return FileInfo{Path: path, Size: info.Size, ModTime: time.Time{}}, nil
+	return FileInfo{Path: path, Size: info.Size, ModTime: info.ModTime}, nil
 }
 
-// List implements Backend.
+// List implements Backend with the same FileInfo conventions as
+// MemFS: complete objects only (an open file is not yet readable
+// through the cluster), carrying size and modification time.
 func (b *DFSBackend) List(prefix string) ([]FileInfo, error) {
-	var out []FileInfo
-	for _, info := range b.cluster.List(prefix) {
-		out = append(out, FileInfo{Path: info.Name, Size: info.Size})
+	infos := b.cluster.List(prefix)
+	out := make([]FileInfo, 0, len(infos))
+	for _, info := range infos {
+		if !info.Complete {
+			continue
+		}
+		out = append(out, FileInfo{Path: info.Name, Size: info.Size, ModTime: info.ModTime})
 	}
 	return out, nil
 }

@@ -53,6 +53,29 @@ func (l *Layer) Mount(prefix string, b Backend) error {
 	return nil
 }
 
+// Unmount detaches the backend at prefix (exact match, after the
+// same normalization Mount applies). In-flight operations that
+// already resolved keep their backend; subsequent resolutions fall
+// through to the next-longest mount.
+func (l *Layer) Unmount(prefix string) error {
+	if !strings.HasPrefix(prefix, "/") {
+		return fmt.Errorf("adal: unmount prefix %q must be absolute", prefix)
+	}
+	prefix = strings.TrimRight(prefix, "/")
+	if prefix == "" {
+		prefix = "/"
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i, m := range l.mounts {
+		if m.prefix == prefix {
+			l.mounts = append(l.mounts[:i], l.mounts[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrNoMount, prefix)
+}
+
 // Mounts lists mount prefixes, longest first.
 func (l *Layer) Mounts() []string {
 	l.mu.RLock()

@@ -36,6 +36,32 @@ type Entry struct {
 	DatasetID  string      `json:"dataset_id,omitempty"`
 	Project    string      `json:"project,omitempty"`
 	Tags       []string    `json:"tags,omitempty"`
+	// Placement is the storage-tier state (resident, premigrated,
+	// migrated) when the path is served by a tiering backend; empty
+	// for untiered mounts.
+	Placement string `json:"placement,omitempty"`
+}
+
+// placementReporter is implemented by tiering backends; the browser
+// discovers it structurally through the mount table, keeping the
+// browser free of a tiering dependency.
+type placementReporter interface {
+	Placement(rel string) (string, bool)
+}
+
+// placement resolves a federated path and asks its backend for the
+// tier state, when it has one.
+func (b *Browser) placement(path string) string {
+	be, rel, err := b.layer.Resolve(path)
+	if err != nil {
+		return ""
+	}
+	if pr, ok := be.(placementReporter); ok {
+		if p, ok := pr.Placement(rel); ok {
+			return p
+		}
+	}
+	return ""
 }
 
 // Browser joins the ADAL layer with the metadata repository.
@@ -58,7 +84,7 @@ func (b *Browser) List(prefix string) ([]Entry, error) {
 	}
 	out := make([]Entry, 0, len(infos))
 	for _, info := range infos {
-		e := Entry{Path: info.Path, Size: info.Size}
+		e := Entry{Path: info.Path, Size: info.Size, Placement: b.placement(info.Path)}
 		if ds, ok := b.meta.ByPath(info.Path); ok {
 			e.Registered = true
 			e.DatasetID = ds.ID
@@ -77,7 +103,7 @@ func (b *Browser) Stat(path string) (Entry, error) {
 	if err != nil {
 		return Entry{}, err
 	}
-	e := Entry{Path: info.Path, Size: info.Size}
+	e := Entry{Path: info.Path, Size: info.Size, Placement: b.placement(path)}
 	if ds, ok := b.meta.ByPath(path); ok {
 		e.Registered = true
 		e.DatasetID = ds.ID

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/tiering"
 	"repro/internal/workflow"
 )
 
@@ -220,5 +221,74 @@ func TestFindProxy(t *testing.T) {
 	got := b.Find(metadata.Query{Project: "zebrafish"})
 	if len(got) != 5 {
 		t.Fatalf("find = %d", len(got))
+	}
+}
+
+// TestPlacementColumn mounts a tiered backend and checks that List,
+// Stat and the web handler surface each object's tier state, while
+// untiered mounts keep an empty placement.
+func TestPlacementColumn(t *testing.T) {
+	layer := adal.NewLayer()
+	if err := layer.Mount("/plain", adal.NewMemFS("plain")); err != nil {
+		t.Fatal(err)
+	}
+	tier, err := tiering.New("tier", adal.NewMemFS("hot"), adal.NewMemFS("cold"), tiering.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tier.Close()
+	if err := layer.Mount("/ddn", tier); err != nil {
+		t.Fatal(err)
+	}
+	meta := metadata.NewStore()
+	b := New(layer, meta)
+
+	put(t, layer, meta, "/ddn/hot.raw", "stays hot", true)
+	put(t, layer, meta, "/ddn/cold.raw", "goes cold", true)
+	put(t, layer, meta, "/plain/p.raw", "untiered", true)
+	if err := tier.Migrate("/cold.raw"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := b.List("/ddn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, e := range entries {
+		got[e.Path] = e.Placement
+		if !e.Registered {
+			t.Fatalf("%s lost its metadata join: %+v", e.Path, e)
+		}
+	}
+	if got["/ddn/hot.raw"] != "resident" || got["/ddn/cold.raw"] != "migrated" {
+		t.Fatalf("placements = %v", got)
+	}
+	// The migrated row still shows the logical size, not the stub's.
+	for _, e := range entries {
+		if e.Path == "/ddn/cold.raw" && e.Size != 9 {
+			t.Fatalf("migrated size = %d, want logical 9", e.Size)
+		}
+	}
+
+	e, err := b.Stat("/plain/p.raw")
+	if err != nil || e.Placement != "" {
+		t.Fatalf("untiered stat = %+v, %v", e, err)
+	}
+
+	// The JSON web API carries the field.
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stat?path=/ddn/cold.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var row Entry
+	if err := json.NewDecoder(resp.Body).Decode(&row); err != nil {
+		t.Fatal(err)
+	}
+	if row.Placement != "migrated" {
+		t.Fatalf("web stat placement = %q", row.Placement)
 	}
 }

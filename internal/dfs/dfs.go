@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/units"
 )
@@ -73,6 +74,7 @@ type fileEntry struct {
 	size     units.Bytes
 	blocks   []*blockMeta
 	complete bool
+	modTime  time.Time // set at Create, bumped when the file completes
 }
 
 // FileInfo is the public view of a file.
@@ -81,6 +83,7 @@ type FileInfo struct {
 	Size     units.Bytes
 	Blocks   int
 	Complete bool
+	ModTime  time.Time
 }
 
 // Cluster is the namenode plus its datanodes.
@@ -101,6 +104,7 @@ type Cluster struct {
 	files  map[string]*fileEntry
 	nextID uint64
 	rng    *rand.Rand
+	clock  func() time.Time // timestamp source for file mtimes
 
 	// metrics (lock-free; reads never touch mu)
 	localReads   atomic.Uint64
@@ -128,7 +132,16 @@ func NewCluster(cfg Config) *Cluster {
 		nodes:  make(map[string]*DataNode),
 		files:  make(map[string]*fileEntry),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		clock:  time.Now,
 	}
+}
+
+// SetClock injects a timestamp source for file modification times
+// (virtual time in simulations, fixed clocks in tests).
+func (c *Cluster) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clock = clock
 }
 
 // Config returns the cluster configuration.
@@ -179,7 +192,7 @@ func (c *Cluster) Stat(name string) (FileInfo, error) {
 	if !ok {
 		return FileInfo{}, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	return FileInfo{Name: f.name, Size: f.size, Blocks: len(f.blocks), Complete: f.complete}, nil
+	return FileInfo{Name: f.name, Size: f.size, Blocks: len(f.blocks), Complete: f.complete, ModTime: f.modTime}, nil
 }
 
 // List returns all complete files whose names start with prefix,
@@ -190,7 +203,7 @@ func (c *Cluster) List(prefix string) []FileInfo {
 	var out []FileInfo
 	for name, f := range c.files {
 		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
-			out = append(out, FileInfo{Name: f.name, Size: f.size, Blocks: len(f.blocks), Complete: f.complete})
+			out = append(out, FileInfo{Name: f.name, Size: f.size, Blocks: len(f.blocks), Complete: f.complete, ModTime: f.modTime})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

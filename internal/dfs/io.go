@@ -21,7 +21,7 @@ func (c *Cluster) Create(name, clientHint string) (*FileWriter, error) {
 		return nil, fmt.Errorf("%w: %q", ErrExists, name)
 	}
 	c.nextID++
-	f := &fileEntry{name: name, id: c.nextID}
+	f := &fileEntry{name: name, id: c.nextID, modTime: c.clock()}
 	c.files[name] = f
 	return &FileWriter{
 		c:    c,
@@ -148,6 +148,7 @@ func (w *FileWriter) Close() error {
 	}
 	w.c.mu.Lock()
 	w.f.complete = true
+	w.f.modTime = w.c.clock()
 	w.c.mu.Unlock()
 	return nil
 }

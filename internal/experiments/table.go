@@ -82,5 +82,6 @@ func All() []Runner {
 		{"E10", "cloud-deploy", E10CloudDeploy},
 		{"E11", "growth", E11Growth},
 		{"E12", "rules", E12Rules},
+		{"E13", "tiered-data-path", E13TieredDataPath},
 	}
 }

@@ -26,6 +26,8 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/objectstore"
 	"repro/internal/rules"
+	"repro/internal/tape"
+	"repro/internal/tiering"
 	"repro/internal/units"
 	"repro/internal/workflow"
 )
@@ -67,6 +69,22 @@ type Options struct {
 	// EventQueue bounds each subscriber's event queue when
 	// AsyncEvents is set (default 256).
 	EventQueue int
+
+	// TierHotCapacity enables the live tiered data path when > 0:
+	// the /ddn mount becomes a tiering.TierBackend federating the DDN
+	// MemFS (hot) with a real-time tape store (cold, also mounted at
+	// /tape for inspection). Writes past the high watermark trigger
+	// background migration to tape; opening a migrated path recalls
+	// it transparently. 0 (the default) keeps /ddn a plain MemFS.
+	TierHotCapacity units.Bytes
+	// TierPolicy sets the tier's watermarks/age policy. The zero
+	// value takes tiering.DefaultPolicy with MinAge and ScanInterval
+	// cleared — real facilities age in hours, tests in milliseconds,
+	// so the facility default migrates on demand (write-triggered
+	// scans) with no age floor.
+	TierPolicy tiering.Policy
+	// TierMigrationWorkers sizes the tier's migration pool (default 2).
+	TierMigrationWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +119,17 @@ type Facility struct {
 
 	// Mounts, for reference: /ddn and /ibm are the disk systems,
 	// /archive the tape-backed store, /hdfs the analysis cluster,
-	// /s3 the slide-14 object store (versioned).
+	// /s3 the slide-14 object store (versioned). With tiering enabled
+	// /ddn resolves to Tier (DDN remains its hot store) and /tape to
+	// the cold tape store.
 	DDN, IBM, Archive *adal.MemFS
 	ObjectStore       *objectstore.Store
+
+	// Tier is the live tiered data path over DDN + Tape; nil unless
+	// Options.TierHotCapacity was set.
+	Tier *tiering.TierBackend
+	// Tape is the tier's cold backend; nil unless tiering is enabled.
+	Tape *tape.FS
 
 	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
@@ -137,23 +163,55 @@ func New(opts Options) (*Facility, error) {
 	if err != nil {
 		return nil, err
 	}
-	for prefix, b := range map[string]adal.Backend{
-		"/ddn":     ddn,
-		"/ibm":     ibm,
-		"/archive": arc,
-		"/hdfs":    adal.NewDFSBackend("hdfs", cluster, "dn000"),
-		"/s3":      objBackend,
-	} {
-		if err := layer.Mount(prefix, b); err != nil {
-			return nil, err
-		}
-	}
-
 	meta := metadata.NewStoreWith(metadata.Options{
 		Shards:   opts.MetadataShards,
 		Async:    opts.AsyncEvents,
 		QueueLen: opts.EventQueue,
 	})
+
+	// The /ddn mount: plain MemFS, or — with tiering on — a
+	// TierBackend whose hot store is that same MemFS and whose cold
+	// store is a real-time tape FS.
+	var ddnMount adal.Backend = ddn
+	var tier *tiering.TierBackend
+	var tapeFS *tape.FS
+	if opts.TierHotCapacity > 0 {
+		pol := opts.TierPolicy
+		if pol == (tiering.Policy{}) {
+			pol = tiering.DefaultPolicy()
+			pol.MinAge = 0
+			pol.ScanInterval = 0
+		}
+		tapeFS = tape.NewFS("tape", tape.FSConfig{CartridgeSize: pol.CartridgeSize})
+		tier, err = tiering.New("ddn-tier", ddn, tapeFS, tiering.Config{
+			Policy:           pol,
+			HotCapacity:      opts.TierHotCapacity,
+			MigrationWorkers: opts.TierMigrationWorkers,
+			Meta:             meta,
+			MountPrefix:      "/ddn",
+		})
+		if err != nil {
+			return nil, err
+		}
+		ddnMount = tier
+	}
+
+	mounts := map[string]adal.Backend{
+		"/ddn":     ddnMount,
+		"/ibm":     ibm,
+		"/archive": arc,
+		"/hdfs":    adal.NewDFSBackend("hdfs", cluster, "dn000"),
+		"/s3":      objBackend,
+	}
+	if tapeFS != nil {
+		mounts["/tape"] = tapeFS
+	}
+	for prefix, b := range mounts {
+		if err := layer.Mount(prefix, b); err != nil {
+			return nil, err
+		}
+	}
+
 	f := &Facility{
 		Layer:         layer,
 		Meta:          meta,
@@ -163,6 +221,8 @@ func New(opts Options) (*Facility, error) {
 		IBM:           ibm,
 		Archive:       arc,
 		ObjectStore:   objStore,
+		Tier:          tier,
+		Tape:          tapeFS,
 		shuffleMemory: opts.ShuffleMemory,
 	}
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
@@ -170,10 +230,15 @@ func New(opts Options) (*Facility, error) {
 	return f, nil
 }
 
-// Close drains the metadata event bus, then releases orchestrator
-// workers and detaches the rule engine — in that order, so every
-// event published before Close still reaches its triggers.
+// Close stops the tier's migration machinery (its last placement
+// events still reach the bus), drains the metadata event bus, then
+// releases orchestrator workers and detaches the rule engine — in
+// that order, so every event published before Close still reaches
+// its triggers.
 func (f *Facility) Close() {
+	if f.Tier != nil {
+		f.Tier.Close()
+	}
 	if f.Meta != nil {
 		f.Meta.Close()
 	}

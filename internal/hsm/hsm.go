@@ -1,8 +1,14 @@
-// Package hsm is the hierarchical storage manager that gives the LSDF
-// its "transparent access over background storage and technology
-// changes" (slide 6): files live on disk while hot, migrate to tape
-// when the disk fills past a watermark, and are recalled transparently
-// on access.
+// Package hsm is the discrete-event hierarchical storage manager: it
+// models the LSDF's "transparent access over background storage and
+// technology changes" (slide 6) at petabyte scale in virtual time —
+// files live on disk while hot, migrate to tape when the disk fills
+// past a watermark, and are recalled transparently on access.
+//
+// The placement states and the migration policy are shared with
+// internal/tiering, which implements the same life cycle on the live
+// concurrent data path (real bytes through the ADAL mount table);
+// this package keeps the simulation-scale counterpart in lockstep
+// with it by construction.
 package hsm
 
 import (
@@ -14,33 +20,22 @@ import (
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tape"
+	"repro/internal/tiering"
 	"repro/internal/units"
 )
 
-// State is a file's placement state.
-type State int
+// State is a file's placement state — the tiering package's type, so
+// simulated and live placements are the same vocabulary.
+type State = tiering.State
 
 // Placement states. Premigrated files have a tape copy but still
 // occupy disk; Migrated files are tape-only (a zero-size stub remains
 // in the namespace).
 const (
-	Resident State = iota
-	Premigrated
-	Migrated
+	Resident    = tiering.Resident
+	Premigrated = tiering.Premigrated
+	Migrated    = tiering.Migrated
 )
-
-// String implements fmt.Stringer for diagnostics.
-func (s State) String() string {
-	switch s {
-	case Resident:
-		return "resident"
-	case Premigrated:
-		return "premigrated"
-	case Migrated:
-		return "migrated"
-	}
-	return fmt.Sprintf("state(%d)", int(s))
-}
 
 // ErrUnknownFile is returned for operations on unmanaged names.
 var ErrUnknownFile = errors.New("hsm: unknown file")
@@ -63,26 +58,14 @@ type File struct {
 	waiters []func(error)
 }
 
-// Policy controls migration.
-type Policy struct {
-	HighWatermark float64       // start migrating above this disk utilization
-	LowWatermark  float64       // stop once utilization is below this
-	MinAge        time.Duration // never migrate files younger than this
-	ScanInterval  time.Duration // period of the migration scan
-	CartridgeSize units.Bytes   // size of auto-created cartridges
-}
+// Policy controls migration — the tiering package's type, so one
+// watermark/age vocabulary configures both the simulated and the
+// live tier.
+type Policy = tiering.Policy
 
 // DefaultPolicy is a conventional 85/70 watermark pair with hourly
 // scans and LTO-5-sized (1.5 TB) cartridges.
-func DefaultPolicy() Policy {
-	return Policy{
-		HighWatermark: 0.85,
-		LowWatermark:  0.70,
-		MinAge:        time.Hour,
-		ScanInterval:  time.Hour,
-		CartridgeSize: units.Bytes(1500) * units.GB,
-	}
-}
+func DefaultPolicy() Policy { return tiering.DefaultPolicy() }
 
 // Manager couples one disk volume with the tape library.
 type Manager struct {

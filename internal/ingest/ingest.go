@@ -67,6 +67,15 @@ func (s *SliceProducer) Next() (*Object, error) {
 	return o, nil
 }
 
+// Premigrater is implemented by ADAL backends that can eagerly copy
+// a freshly stored object toward their cold tier (the tiering
+// backend): premigrate-on-ingest makes later watermark migrations a
+// cheap stub swap instead of a full copy, at the price of writing
+// every ingested byte twice up front.
+type Premigrater interface {
+	Premigrate(rel string) error
+}
+
 // Config tunes a pipeline.
 type Config struct {
 	Workers int // parallel store+register workers; default 4
@@ -74,6 +83,15 @@ type Config struct {
 	// groups of up to BatchSize through metadata.CreateBatch (one
 	// shard-lock round per shard). Default 1: register per object.
 	BatchSize int
+	// Premigrate switches the pipeline from write-through (default:
+	// bytes land on the hot tier only) to premigrate-on-ingest: after
+	// an object is stored and registered, the pipeline asks the
+	// backend serving its path — when it implements Premigrater — to
+	// copy it cold. Premigration failures are advisory (the object is
+	// already stored, registered and resident; the next watermark
+	// scan retries the copy): they are reported to OnError when set
+	// and never abort the run or count toward Stats.Errors.
+	Premigrate bool
 	// OnError, when non-nil, observes per-object failures; the
 	// pipeline continues. When nil, the first failure aborts the run.
 	OnError func(obj *Object, err error)
@@ -142,10 +160,16 @@ func (p *Pipeline) Run(ctx context.Context, prod Producer) (Stats, error) {
 		go func() {
 			defer wg.Done()
 			if p.cfg.BatchSize > 1 {
-				p.runBatched(jobs, &stats, fail)
+				p.runBatched(cctx, jobs, &stats, fail)
 				return
 			}
 			for obj := range jobs {
+				// After cancellation, drain without starting new
+				// stores: unprocessed objects are neither stored nor
+				// registered, so the store/metadata invariant holds.
+				if cctx.Err() != nil {
+					continue
+				}
 				n, err := p.ingestOne(obj)
 				if err != nil {
 					fail(obj, err)
@@ -189,8 +213,10 @@ feed:
 // object's bytes immediately, then register up to BatchSize of them
 // in one metadata.CreateBatch round. A registration failure rolls
 // back that object's stored bytes, so the facility never holds
-// invisible data, batched or not.
-func (p *Pipeline) runBatched(jobs <-chan *Object, stats *Stats, fail func(*Object, error)) {
+// invisible data, batched or not. On cancellation the worker stops
+// storing new objects but still flushes the batch it has already
+// stored — those bytes are on disk, so they must become visible.
+func (p *Pipeline) runBatched(ctx context.Context, jobs <-chan *Object, stats *Stats, fail func(*Object, error)) {
 	type pending struct {
 		obj  *Object
 		size units.Bytes
@@ -220,10 +246,14 @@ func (p *Pipeline) runBatched(jobs <-chan *Object, stats *Stats, fail func(*Obje
 			}
 			atomic.AddInt64(&stats.Objects, 1)
 			atomic.AddInt64((*int64)(&stats.Bytes), int64(buf[i].size))
+			p.premigrate(buf[i].obj)
 		}
 		buf = buf[:0]
 	}
 	for obj := range jobs {
+		if ctx.Err() != nil {
+			continue // cancelled: drain without storing
+		}
 		if obj.Data == nil {
 			fail(obj, errors.New("ingest: object without data"))
 			continue
@@ -263,5 +293,26 @@ func (p *Pipeline) ingestOne(obj *Object) (units.Bytes, error) {
 			return 0, fmt.Errorf("ingest: tag %s: %w", obj.Path, err)
 		}
 	}
+	p.premigrate(obj)
 	return n, nil
+}
+
+// premigrate asks the backend serving a stored-and-registered
+// object's path to copy it to its cold tier (Config.Premigrate).
+// Failures are advisory — see the Config field comment.
+func (p *Pipeline) premigrate(obj *Object) {
+	if !p.cfg.Premigrate {
+		return
+	}
+	b, rel, err := p.layer.Resolve(obj.Path)
+	if err != nil {
+		return
+	}
+	pm, ok := b.(Premigrater)
+	if !ok {
+		return
+	}
+	if err := pm.Premigrate(rel); err != nil && p.cfg.OnError != nil {
+		p.cfg.OnError(obj, fmt.Errorf("ingest: premigrate %s: %w", obj.Path, err))
+	}
 }

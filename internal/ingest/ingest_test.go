@@ -288,3 +288,70 @@ func TestLargeParallelIngest(t *testing.T) {
 		t.Fatalf("registered = %d", meta.Count())
 	}
 }
+
+// cancellingProducer cancels a context after yielding `after`
+// objects, then keeps yielding — modelling a DAQ stream that outlives
+// the operator hitting ^C.
+type cancellingProducer struct {
+	objs   []*Object
+	after  int
+	cancel context.CancelFunc
+	i      int
+}
+
+func (p *cancellingProducer) Next() (*Object, error) {
+	if p.i == p.after {
+		p.cancel()
+	}
+	if p.i >= len(p.objs) {
+		return nil, io.EOF
+	}
+	o := p.objs[p.i]
+	p.i++
+	return o, nil
+}
+
+// TestCancellationLeavesNoHalfIngestedObject cancels mid-run in both
+// register-per-object and batched modes and checks the facility's
+// core invariant: no object is stored-but-unregistered or
+// registered-but-unstored, and the run stops promptly instead of
+// draining the whole stream.
+func TestCancellationLeavesNoHalfIngestedObject(t *testing.T) {
+	for _, batch := range []int{1, 8} {
+		batch := batch
+		t.Run(fmt.Sprintf("batch=%d", batch), func(t *testing.T) {
+			p, layer, meta := newPipeline(t, Config{Workers: 4, BatchSize: batch})
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const total = 500
+			prod := &cancellingProducer{objs: objects(total), after: 20, cancel: cancel}
+			stats, err := p.Run(ctx, prod)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if stats.Objects >= total {
+				t.Fatalf("run drained all %d objects despite cancellation", total)
+			}
+			// Stored set == registered set, bidirectionally.
+			infos, lerr := layer.List("/itg")
+			if lerr != nil {
+				t.Fatal(lerr)
+			}
+			stored := make(map[string]bool, len(infos))
+			for _, info := range infos {
+				stored[info.Path] = true
+				if _, ok := meta.ByPath(info.Path); !ok {
+					t.Fatalf("%s stored but unregistered", info.Path)
+				}
+			}
+			for _, ds := range meta.Find(metadata.Query{Project: "zebrafish"}) {
+				if !stored[ds.Path] {
+					t.Fatalf("%s registered but unstored", ds.Path)
+				}
+			}
+			if int64(len(infos)) != stats.Objects {
+				t.Fatalf("stored %d objects, stats say %d", len(infos), stats.Objects)
+			}
+		})
+	}
+}

@@ -111,6 +111,10 @@ const (
 	EventUntagged
 	EventProcessingAdded
 	EventDeleted
+	// EventPlacement announces a storage-tier placement transition
+	// (resident/premigrated/migrated) for the object at Dataset.Path;
+	// published by the tiering backend, not by a store mutation.
+	EventPlacement
 )
 
 // String implements fmt.Stringer.
@@ -126,6 +130,8 @@ func (t EventType) String() string {
 		return "processing-added"
 	case EventDeleted:
 		return "deleted"
+	case EventPlacement:
+		return "placement"
 	}
 	return fmt.Sprintf("event(%d)", int(t))
 }
@@ -133,9 +139,10 @@ func (t EventType) String() string {
 // Event is a store notification. Dataset is a snapshot taken after
 // the mutation.
 type Event struct {
-	Type    EventType
-	Dataset Dataset
-	Tag     string // set for EventTagged/EventUntagged
+	Type      EventType
+	Dataset   Dataset
+	Tag       string // set for EventTagged/EventUntagged
+	Placement string // set for EventPlacement: the new tier state
 }
 
 // Options configures a Store.
@@ -495,6 +502,23 @@ func (s *Store) Delete(id string) error {
 	ps.mu.Unlock()
 	s.publish(ev)
 	return nil
+}
+
+// NotePlacement publishes an EventPlacement on the store's bus for
+// the object at path: the tiering backend calls it on every
+// Resident/Premigrated/Migrated transition so rule engines and
+// workflow triggers can react to data aging exactly as they react to
+// mutations. The event carries the registered dataset snapshot when
+// the path is known to the store, or a synthetic path-only snapshot
+// for unregistered objects (e.g. MapReduce intermediates).
+func (s *Store) NotePlacement(path, placement string) {
+	snap, ok := s.ByPath(path)
+	if !ok {
+		snap = Dataset{Path: path}
+	}
+	ev := Event{Type: EventPlacement, Dataset: snap, Placement: placement}
+	s.stage(ev)
+	s.publish(ev)
 }
 
 // Subscribe registers a callback for every subsequent mutation; the

@@ -1,0 +1,156 @@
+package tape
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/units"
+)
+
+func fsWrite(t *testing.T, fs *FS, path string, data []byte) {
+	t.Helper()
+	w, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSRoundTrip(t *testing.T) {
+	fs := NewFS("tape", FSConfig{})
+	data := []byte("archive me")
+	fsWrite(t, fs, "/a/x", data)
+
+	r, err := fs.Open("/a/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(r)
+	r.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatal("content differs")
+	}
+	info, err := fs.Stat("/a/x")
+	if err != nil || info.Size != units.Bytes(len(data)) {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	if _, err := fs.Create("/a/x"); !errors.Is(err, adal.ErrExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	if _, err := fs.Open("/a/missing"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("missing open err = %v", err)
+	}
+	// The reserved-but-unclosed name is invisible to readers.
+	if _, err := fs.Create("/a/pending"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("/a/pending"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("pending open err = %v", err)
+	}
+}
+
+func TestFSCartridgePacking(t *testing.T) {
+	fs := NewFS("tape", FSConfig{CartridgeSize: 10 * units.KiB})
+	for i := 0; i < 5; i++ {
+		fsWrite(t, fs, fmt.Sprintf("/o/%d", i), make([]byte, 4*1024))
+	}
+	// 5 × 4 KiB into 10 KiB cartridges: two objects per cartridge.
+	carts := fs.CartridgeList()
+	if len(carts) != 3 {
+		t.Fatalf("cartridges = %d, want 3", len(carts))
+	}
+	// An oversized object gets a dedicated cartridge.
+	fsWrite(t, fs, "/o/huge", make([]byte, 64*1024))
+	carts = fs.CartridgeList()
+	last := carts[len(carts)-1]
+	if last.Capacity != 64*units.KiB || last.Used != 64*units.KiB {
+		t.Fatalf("oversized cartridge = %+v", last)
+	}
+}
+
+func TestFSMountAccounting(t *testing.T) {
+	fs := NewFS("tape", FSConfig{CartridgeSize: 4 * units.KiB})
+	fsWrite(t, fs, "/a", make([]byte, 4*1024)) // cartridge 1
+	fsWrite(t, fs, "/b", make([]byte, 4*1024)) // cartridge 2
+
+	read := func(p string) {
+		r, err := fs.Open(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, r)
+		r.Close()
+	}
+	read("/a")
+	read("/a") // same cartridge: cache hit
+	read("/b") // exchange
+	st := fs.FSStats()
+	if st.Mounts != 2 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesOut != 12*units.KiB || st.BytesIn != 8*units.KiB {
+		t.Fatalf("bytes = %+v", st)
+	}
+}
+
+func TestFSRemoveAndList(t *testing.T) {
+	fs := NewFS("tape", FSConfig{})
+	fsWrite(t, fs, "/d/a", []byte("aa"))
+	fsWrite(t, fs, "/d/b", []byte("bb"))
+	infos, err := fs.List("/d")
+	if err != nil || len(infos) != 2 || infos[0].Path != "/d/a" {
+		t.Fatalf("list = %+v, %v", infos, err)
+	}
+	if err := fs.Remove("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat("/d/a"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("stat after remove err = %v", err)
+	}
+	if err := fs.Remove("/d/a"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("double remove err = %v", err)
+	}
+}
+
+func TestFSConcurrentWriters(t *testing.T) {
+	fs := NewFS("tape", FSConfig{CartridgeSize: 64 * units.KiB})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				fsWrite(t, fs, fmt.Sprintf("/w%d/%d", w, i), bytes.Repeat([]byte{byte(w)}, 1024))
+			}
+		}()
+	}
+	wg.Wait()
+	st := fs.FSStats()
+	if st.Objects != 160 || st.BytesIn != 160*units.KiB {
+		t.Fatalf("stats = %+v", st)
+	}
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 20; i++ {
+			r, err := fs.Open(fmt.Sprintf("/w%d/%d", w, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := io.ReadAll(r)
+			r.Close()
+			if !bytes.Equal(got, bytes.Repeat([]byte{byte(w)}, 1024)) {
+				t.Fatalf("w%d/%d differs", w, i)
+			}
+		}
+	}
+}

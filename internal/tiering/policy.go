@@ -1,0 +1,71 @@
+// Package tiering is the live tiered data path of the facility: a
+// TierBackend federates a hot backend (disk: MemFS, LocalFS, the DFS)
+// with a cold backend (tape or object storage) behind the ordinary
+// adal.Backend contract, so every caller that reaches storage through
+// the ADAL mount table — ingest, the DataBrowser, MapReduce output
+// readers — gets the paper's "transparent access over background
+// storage and technology changes" for free: files live on the hot
+// tier while hot, migrate to the cold tier past a utilization
+// watermark, and are recalled invisibly on Open.
+//
+// The placement states and the migration policy here are shared with
+// internal/hsm, whose discrete-event Manager models the same life
+// cycle at petabyte scale in virtual time; this package moves real
+// bytes concurrently.
+package tiering
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// State is a file's placement state.
+type State int
+
+// Placement states. Premigrated files have a cold copy but still
+// occupy hot storage; Migrated files are cold-only (a small
+// self-describing stub remains in the hot namespace).
+const (
+	Resident State = iota
+	Premigrated
+	Migrated
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (s State) String() string {
+	switch s {
+	case Resident:
+		return "resident"
+	case Premigrated:
+		return "premigrated"
+	case Migrated:
+		return "migrated"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Policy controls migration. The same hysteresis pair governs the
+// discrete-event hsm.Manager and the live TierBackend: migration
+// starts when hot utilization exceeds HighWatermark and stops once
+// the projection drops below LowWatermark, oldest access first.
+type Policy struct {
+	HighWatermark float64       // start migrating above this hot-tier utilization
+	LowWatermark  float64       // stop once utilization is below this
+	MinAge        time.Duration // never migrate files younger than this
+	ScanInterval  time.Duration // period of the migration scan
+	CartridgeSize units.Bytes   // size of auto-created cartridges (tape backends)
+}
+
+// DefaultPolicy is a conventional 85/70 watermark pair with hourly
+// scans and LTO-5-sized (1.5 TB) cartridges.
+func DefaultPolicy() Policy {
+	return Policy{
+		HighWatermark: 0.85,
+		LowWatermark:  0.70,
+		MinAge:        time.Hour,
+		ScanInterval:  time.Hour,
+		CartridgeSize: units.Bytes(1500) * units.GB,
+	}
+}

@@ -1,0 +1,72 @@
+package tiering
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// stubMagic opens every stub object left in the hot namespace for a
+// migrated file. The stub is self-describing — it carries the
+// metadata needed to recall and re-verify the bytes — so a TierBackend
+// constructed over an existing hot tier recovers the placement map
+// without any side database (see recover in tiering.go).
+const stubMagic = "LSDF-STUB v1"
+
+// maxStubSize bounds how large a hot object may be for recovery to
+// sniff it as a potential stub. Real stubs are well under 1 KiB.
+const maxStubSize = 4096
+
+// stubInfo is the metadata preserved in a migrated file's stub.
+type stubInfo struct {
+	size     units.Bytes
+	checksum string // hex SHA-256 of the migrated content
+	modTime  time.Time
+}
+
+// encodeStub renders the stub object body.
+func encodeStub(info stubInfo) []byte {
+	var sb strings.Builder
+	sb.WriteString(stubMagic)
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "size: %d\n", int64(info.size))
+	fmt.Fprintf(&sb, "sha256: %s\n", info.checksum)
+	fmt.Fprintf(&sb, "modtime: %s\n", info.modTime.UTC().Format(time.RFC3339Nano))
+	return []byte(sb.String())
+}
+
+// decodeStub parses a stub body; ok is false when the content is not
+// a stub (recovery treats such objects as plain resident data).
+func decodeStub(data []byte) (stubInfo, bool) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != stubMagic {
+		return stubInfo{}, false
+	}
+	var info stubInfo
+	for _, line := range lines[1:] {
+		key, val, found := strings.Cut(line, ": ")
+		if !found {
+			continue
+		}
+		switch key {
+		case "size":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return stubInfo{}, false
+			}
+			info.size = units.Bytes(n)
+		case "sha256":
+			info.checksum = val
+		case "modtime":
+			t, err := time.Parse(time.RFC3339Nano, val)
+			if err != nil {
+				return stubInfo{}, false
+			}
+			info.modTime = t
+		}
+	}
+	return info, info.checksum != ""
+}
