@@ -25,10 +25,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/replication"
 	"repro/internal/tiering"
 )
 
@@ -60,7 +62,11 @@ commands:
   tier migrate PATH           move an object to the cold tier (stub stays)
   tier recall PATH            bring a migrated object's bytes back
   tier pin PATH               exempt an object from migration (this run)
-  tier unpin PATH             re-admit an object to migration`)
+  tier unpin PATH             re-admit an object to migration
+  replica status              show the replica catalog (per-object site states)
+  replica add PATH SITE       copy an object to a mirror site (created on demand)
+  replica drop PATH SITE      remove an object's replica from a site
+  replica verify PATH         re-checksum every replica against the main copy`)
 }
 
 type ctl struct {
@@ -68,6 +74,13 @@ type ctl struct {
 	meta  *metadata.Store
 	tier  *tiering.TierBackend
 	path  string // metadata dump location
+	state string
+	// Replica mirrors: each site is a LocalFS under sites/<name>,
+	// mounted at /site/<name>; the catalog is rebuilt from the site
+	// directories on every invocation, so replica placement — like
+	// tier placement — persists with no side database.
+	repCat *replication.Catalog
+	sites  map[string]*adal.LocalFS
 }
 
 func open(state string) (*ctl, error) {
@@ -102,7 +115,62 @@ func open(state string) (*ctl, error) {
 			return nil, fmt.Errorf("loading %s: %w", dump, err)
 		}
 	}
-	return &ctl{layer: layer, meta: meta, tier: tier, path: dump}, nil
+	c := &ctl{
+		layer: layer, meta: meta, tier: tier, path: dump, state: state,
+		repCat: replication.NewCatalog(replication.CatalogConfig{}),
+		sites:  make(map[string]*adal.LocalFS),
+	}
+	// Recover replica placement from the mirror directories.
+	siteDirs, _ := os.ReadDir(filepath.Join(state, "sites"))
+	for _, d := range siteDirs {
+		if !d.IsDir() {
+			continue
+		}
+		if err := c.mountSite(d.Name()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// mountSite attaches (creating if needed) the mirror site and loads
+// its objects into the replica catalog as valid replicas; verify
+// re-checksums them on demand.
+func (c *ctl) mountSite(name string) error {
+	// The name becomes both a directory under sites/ and a mount
+	// prefix; reject anything that could escape either namespace.
+	if name == "" || name == "." || name == ".." ||
+		strings.ContainsAny(name, "/\\") || filepath.Base(name) != name {
+		return fmt.Errorf("invalid site name %q", name)
+	}
+	if _, ok := c.sites[name]; ok {
+		return nil
+	}
+	dir := filepath.Join(c.state, "sites", name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b, err := adal.NewLocalFS("site-"+name, dir)
+	if err != nil {
+		return err
+	}
+	if err := c.layer.Mount("/site/"+name, b); err != nil {
+		return err
+	}
+	c.sites[name] = b
+	infos, err := b.List("/")
+	if err != nil {
+		return err
+	}
+	for _, info := range infos {
+		if info.IsDir {
+			continue
+		}
+		c.repCat.Set(info.Path, replication.Replica{
+			Site: name, State: replication.Valid, Size: info.Size,
+		})
+	}
+	return nil
 }
 
 func (c *ctl) save() error {
@@ -131,6 +199,8 @@ func run(state string, args []string) error {
 	switch cmd {
 	case "tier":
 		return c.tierCmd(rest)
+	case "replica":
+		return c.replicaCmd(rest)
 	case "ingest":
 		return c.ingest(rest)
 	case "ls":
@@ -252,6 +322,94 @@ func (c *ctl) query(args []string) error {
 		fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
 	}
 	return nil
+}
+
+func (c *ctl) replicaCmd(args []string) error {
+	if len(args) == 0 || args[0] == "status" {
+		siteNames := make([]string, 0, len(c.sites))
+		for name := range c.sites {
+			siteNames = append(siteNames, name)
+		}
+		sort.Strings(siteNames)
+		fmt.Printf("sites: %s\n", strings.Join(siteNames, ", "))
+		counts := c.repCat.Counts()
+		fmt.Printf("replicas: %d valid, %d stale, %d lost\n",
+			counts[replication.Valid], counts[replication.Stale], counts[replication.Lost])
+		for _, path := range c.repCat.Paths() {
+			var cols []string
+			for _, r := range c.repCat.Replicas(path) {
+				cols = append(cols, fmt.Sprintf("%s=%s", r.Site, r.State))
+			}
+			fmt.Printf("%-40s  %s\n", path, strings.Join(cols, "  "))
+		}
+		return nil
+	}
+	sub := args[0]
+	switch sub {
+	case "add", "drop":
+		if len(args) != 3 {
+			return fmt.Errorf("replica %s: need PATH SITE", sub)
+		}
+		path, site := args[1], args[2]
+		if sub == "add" {
+			if err := c.mountSite(site); err != nil {
+				return err
+			}
+			// Adding over an existing (possibly stale) replica
+			// refreshes it: clear the old copy so Create succeeds.
+			if _, ok := c.repCat.Get(path, site); ok {
+				_ = c.layer.Remove("/site/" + site + path)
+			}
+			n, sum, err := c.layer.CopyObjectChecksummed(path, "/site/"+site+path)
+			if err != nil {
+				return err
+			}
+			c.repCat.Set(path, replication.Replica{
+				Site: site, State: replication.Valid, Size: n, Checksum: sum,
+			})
+			fmt.Printf("replicated %s to site %s (%s, sha256 %.12s…)\n", path, site, n.SI(), sum)
+			return nil
+		}
+		if _, ok := c.repCat.Get(path, site); !ok {
+			return fmt.Errorf("no replica of %s on site %s", path, site)
+		}
+		if err := c.layer.Remove("/site/" + site + path); err != nil {
+			return err
+		}
+		c.repCat.Drop(path, site)
+		fmt.Printf("dropped replica of %s from site %s\n", path, site)
+		return nil
+	case "verify":
+		if len(args) != 2 {
+			return fmt.Errorf("replica verify: need PATH")
+		}
+		path := args[1]
+		want, err := c.layer.Checksum(path)
+		if err != nil {
+			return fmt.Errorf("reading main copy: %w", err)
+		}
+		reps := c.repCat.Replicas(path)
+		if len(reps) == 0 {
+			return fmt.Errorf("no replicas of %s", path)
+		}
+		for _, r := range reps {
+			got, err := c.layer.Checksum("/site/" + r.Site + path)
+			switch {
+			case err != nil:
+				c.repCat.Mark(path, r.Site, replication.Lost, err.Error())
+				fmt.Printf("%-12s  %s  LOST (%v)\n", r.Site, path, err)
+			case got != want:
+				c.repCat.Mark(path, r.Site, replication.Stale, "checksum mismatch")
+				fmt.Printf("%-12s  %s  STALE (checksum mismatch)\n", r.Site, path)
+			default:
+				c.repCat.Mark(path, r.Site, replication.Valid, "")
+				fmt.Printf("%-12s  %s  valid (sha256 %.12s…)\n", r.Site, path, got)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("replica: unknown subcommand %q", sub)
+	}
 }
 
 func (c *ctl) tierCmd(args []string) error {

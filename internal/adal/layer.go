@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"hash"
 	"io"
 	"sort"
 	"strings"
@@ -202,6 +203,39 @@ func (l *Layer) WriteChecksummed(path string, r io.Reader) (units.Bytes, string,
 	return units.Bytes(n), hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// NewChecksumWriter wraps w so every written byte is SHA-256-hashed
+// in passing; Close closes w and then hands (bytes, hex digest,
+// close error) to commit, whose return value becomes Close's result.
+// It is the streaming-writer dual of WriteChecksummed, used by
+// backends that must register a content hash at commit time.
+func NewChecksumWriter(w io.WriteCloser, commit func(n units.Bytes, sum string, err error) error) io.WriteCloser {
+	return &checksumWriter{w: w, h: sha256.New(), commit: commit}
+}
+
+type checksumWriter struct {
+	w      io.WriteCloser
+	h      hash.Hash
+	n      int64
+	commit func(units.Bytes, string, error) error
+	closed bool
+}
+
+func (cw *checksumWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.h.Write(p[:n])
+	cw.n += int64(n)
+	return n, err
+}
+
+func (cw *checksumWriter) Close() error {
+	if cw.closed {
+		return nil
+	}
+	cw.closed = true
+	err := cw.w.Close()
+	return cw.commit(units.Bytes(cw.n), hex.EncodeToString(cw.h.Sum(nil)), err)
+}
+
 // Checksum reads an object and returns its hex SHA-256, used by the
 // rule engine's integrity audits.
 func (l *Layer) Checksum(path string) (string, error) {
@@ -218,21 +252,40 @@ func (l *Layer) Checksum(path string) (string, error) {
 }
 
 // CopyObject copies one object across mounts (replication action).
+// The copy is streamed chunk by chunk through a pooled buffer — the
+// object never materializes in memory — and a failed copy removes the
+// partial destination, so callers never observe a half-written
+// replica.
 func (l *Layer) CopyObject(src, dst string) error {
+	_, _, err := l.CopyObjectChecksummed(src, dst)
+	return err
+}
+
+// CopyObjectChecksummed is CopyObject returning the byte count and
+// the hex SHA-256 of the copied content, so replication callers can
+// verify the new replica against the catalog without a second read.
+func (l *Layer) CopyObjectChecksummed(src, dst string) (units.Bytes, string, error) {
 	r, err := l.Open(src)
 	if err != nil {
-		return err
+		return 0, "", err
 	}
 	defer r.Close()
 	w, err := l.Create(dst)
 	if err != nil {
-		return err
+		return 0, "", err
 	}
-	if _, err := pooledCopy(w, r); err != nil {
+	h := sha256.New()
+	n, err := pooledCopy(io.MultiWriter(w, h), r)
+	if err == nil {
+		err = w.Close()
+	} else {
 		w.Close()
-		return err
 	}
-	return w.Close()
+	if err != nil {
+		_ = l.Remove(dst) // best effort: never leave a partial replica
+		return 0, "", fmt.Errorf("adal: copying %s -> %s: %w", src, dst, err)
+	}
+	return units.Bytes(n), hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // ParseURI splits "lsdf://host/path" into its host and federated

@@ -3,8 +3,12 @@ package adal
 import (
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/units"
 )
 
 func TestUnmount(t *testing.T) {
@@ -162,4 +166,124 @@ func TestMountResolveListRace(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// truncatedFS serves objects whose reads fail partway: the copy-path
+// error-injection backend.
+type truncatedFS struct {
+	*MemFS
+	failAfter int
+}
+
+func (f *truncatedFS) Open(path string) (io.ReadCloser, error) {
+	r, err := f.MemFS.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &truncatedReader{r: r, left: f.failAfter}, nil
+}
+
+type truncatedReader struct {
+	r    io.ReadCloser
+	left int
+}
+
+func (tr *truncatedReader) Read(p []byte) (int, error) {
+	if tr.left <= 0 {
+		return 0, errors.New("truncated: injected read failure")
+	}
+	if len(p) > tr.left {
+		p = p[:tr.left]
+	}
+	n, err := tr.r.Read(p)
+	tr.left -= n
+	return n, err
+}
+
+func (tr *truncatedReader) Close() error { return tr.r.Close() }
+
+func TestCopyObjectChecksummed(t *testing.T) {
+	l := NewLayer()
+	src := NewMemFS("src")
+	dst := NewMemFS("dst")
+	if err := l.Mount("/src", src); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Mount("/dst", dst); err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("stream me, don't slurp me. ", 40_000) // ~1 MiB, > one pool buffer
+	wantN, wantSum, err := l.WriteChecksummed("/src/x", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, sum, err := l.CopyObjectChecksummed("/src/x", "/dst/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != wantN || sum != wantSum {
+		t.Fatalf("copy = (%d, %.12s), want (%d, %.12s)", n, sum, wantN, wantSum)
+	}
+	if again, err := l.Checksum("/dst/x"); err != nil || again != wantSum {
+		t.Fatalf("destination checksum = %q err=%v", again, err)
+	}
+}
+
+func TestCopyObjectCleansPartialDestinationOnError(t *testing.T) {
+	l := NewLayer()
+	bad := &truncatedFS{MemFS: NewMemFS("bad"), failAfter: 64 * 1024}
+	dst := NewMemFS("dst")
+	if err := l.Mount("/bad", bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Mount("/dst", dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.WriteChecksummed("/bad/x", strings.NewReader(strings.Repeat("z", 512*1024))); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.CopyObject("/bad/x", "/dst/x"); err == nil {
+		t.Fatal("copy of a failing source succeeded")
+	}
+	// The half-written destination must be gone, and the name free
+	// for a retry.
+	if _, err := l.Stat("/dst/x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("partial destination survived: %v", err)
+	}
+	if w, err := l.Create("/dst/x"); err != nil {
+		t.Fatalf("destination name not reusable after failed copy: %v", err)
+	} else {
+		w.Close()
+	}
+}
+
+func TestNewChecksumWriter(t *testing.T) {
+	mem := NewMemFS("m")
+	inner, err := mem.Create("/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotN units.Bytes
+	var gotSum string
+	w := NewChecksumWriter(inner, func(n units.Bytes, sum string, cerr error) error {
+		gotN, gotSum = n, sum
+		return cerr
+	})
+	io.WriteString(w, "check")
+	io.WriteString(w, "sum")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if gotN != 8 {
+		t.Fatalf("n = %d", gotN)
+	}
+	l := NewLayer()
+	l.Mount("/", mem)
+	want, err := l.Checksum("/x")
+	if err != nil || want != gotSum {
+		t.Fatalf("sum = %.12s, want %.12s (err=%v)", gotSum, want, err)
+	}
 }

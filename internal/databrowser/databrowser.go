@@ -40,6 +40,11 @@ type Entry struct {
 	// migrated) when the path is served by a tiering backend; empty
 	// for untiered mounts.
 	Placement string `json:"placement,omitempty"`
+	// Replicas and ReplicaSites report the multi-site replica count
+	// and locations when the path is served by a replication
+	// federation; zero/empty for unfederated mounts.
+	Replicas     int      `json:"replicas,omitempty"`
+	ReplicaSites []string `json:"replica_sites,omitempty"`
 }
 
 // placementReporter is implemented by tiering backends; the browser
@@ -49,19 +54,30 @@ type placementReporter interface {
 	Placement(rel string) (string, bool)
 }
 
-// placement resolves a federated path and asks its backend for the
-// tier state, when it has one.
-func (b *Browser) placement(path string) string {
+// replicaReporter is implemented by federated replication backends,
+// discovered structurally for the same decoupling reason.
+type replicaReporter interface {
+	ReplicaSites(rel string) ([]string, bool)
+}
+
+// annotate resolves the path once and fills in whatever its backend
+// reports: the tier placement and/or the replica sites.
+func (b *Browser) annotate(e *Entry, path string) {
 	be, rel, err := b.layer.Resolve(path)
 	if err != nil {
-		return ""
+		return
 	}
 	if pr, ok := be.(placementReporter); ok {
 		if p, ok := pr.Placement(rel); ok {
-			return p
+			e.Placement = p
 		}
 	}
-	return ""
+	if rr, ok := be.(replicaReporter); ok {
+		if sites, ok := rr.ReplicaSites(rel); ok {
+			e.ReplicaSites = sites
+			e.Replicas = len(sites)
+		}
+	}
 }
 
 // Browser joins the ADAL layer with the metadata repository.
@@ -84,7 +100,8 @@ func (b *Browser) List(prefix string) ([]Entry, error) {
 	}
 	out := make([]Entry, 0, len(infos))
 	for _, info := range infos {
-		e := Entry{Path: info.Path, Size: info.Size, Placement: b.placement(info.Path)}
+		e := Entry{Path: info.Path, Size: info.Size}
+		b.annotate(&e, info.Path)
 		if ds, ok := b.meta.ByPath(info.Path); ok {
 			e.Registered = true
 			e.DatasetID = ds.ID
@@ -103,7 +120,8 @@ func (b *Browser) Stat(path string) (Entry, error) {
 	if err != nil {
 		return Entry{}, err
 	}
-	e := Entry{Path: info.Path, Size: info.Size, Placement: b.placement(path)}
+	e := Entry{Path: info.Path, Size: info.Size}
+	b.annotate(&e, path)
 	if ds, ok := b.meta.ByPath(path); ok {
 		e.Registered = true
 		e.DatasetID = ds.ID

@@ -128,3 +128,30 @@ func TestE12CatchesCorruption(t *testing.T) {
 		}
 	}
 }
+
+func TestE14ZeroFailedReadsAndConvergence(t *testing.T) {
+	tbl, err := E14MultiSiteReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(name string) string {
+		t.Helper()
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r[1]
+			}
+		}
+		t.Fatalf("row %q missing: %v", name, tbl.Rows)
+		return ""
+	}
+	if got := row("failed reads / short reads"); got != "0 / 0" {
+		t.Fatalf("reads during outage failed: %s", got)
+	}
+	if got := row("paths at >= 2 valid after revive"); got != "72 / 72" {
+		t.Fatalf("catalog did not converge: %s", got)
+	}
+	reads := row("reads during site outage")
+	if n, err := strconv.Atoi(reads); err != nil || n == 0 {
+		t.Fatalf("no reads exercised the outage window: %q", reads)
+	}
+}

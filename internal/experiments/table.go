@@ -83,5 +83,6 @@ func All() []Runner {
 		{"E11", "growth", E11Growth},
 		{"E12", "rules", E12Rules},
 		{"E13", "tiered-data-path", E13TieredDataPath},
+		{"E14", "multi-site-replication", E14MultiSiteReplication},
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
 	"repro/internal/objectstore"
+	"repro/internal/replication"
 	"repro/internal/rules"
 	"repro/internal/tape"
 	"repro/internal/tiering"
@@ -85,6 +86,24 @@ type Options struct {
 	TierPolicy tiering.Policy
 	// TierMigrationWorkers sizes the tier's migration pool (default 2).
 	TierMigrationWorkers int
+
+	// Sites enables the multi-site replication subsystem when
+	// non-empty: each name becomes a federation site (an in-memory
+	// backend; order = distance, nearest first), served together at
+	// /sites through a replication.FederatedBackend. Reads resolve to
+	// the nearest valid replica and fail over transparently; writes
+	// land on the nearest site and fan out asynchronously to
+	// MinReplicas, driven by the metadata event bus.
+	Sites []string
+	// MinReplicas is the replication target per object (default 2,
+	// capped at len(Sites)).
+	MinReplicas int
+	// ReplicaStreams sizes the replication engine's transfer worker
+	// pool (default 4).
+	ReplicaStreams int
+	// ReplicaWAN, when set, paces inter-site transfers by per-pair
+	// bandwidth/latency (degraded-link experiments); nil = LAN speed.
+	ReplicaWAN *replication.WAN
 }
 
 func (o Options) withDefaults() Options {
@@ -121,7 +140,8 @@ type Facility struct {
 	// /archive the tape-backed store, /hdfs the analysis cluster,
 	// /s3 the slide-14 object store (versioned). With tiering enabled
 	// /ddn resolves to Tier (DDN remains its hot store) and /tape to
-	// the cold tape store.
+	// the cold tape store. With Options.Sites set, /sites is the
+	// multi-site replication federation.
 	DDN, IBM, Archive *adal.MemFS
 	ObjectStore       *objectstore.Store
 
@@ -130,6 +150,13 @@ type Facility struct {
 	Tier *tiering.TierBackend
 	// Tape is the tier's cold backend; nil unless tiering is enabled.
 	Tape *tape.FS
+
+	// Multi-site replication (mounted at /sites); all nil unless
+	// Options.Sites was set.
+	ReplicaCatalog *replication.Catalog
+	Replicator     *replication.Engine
+	Federation     *replication.FederatedBackend
+	FedSites       []*replication.Site
 
 	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
@@ -196,6 +223,35 @@ func New(opts Options) (*Facility, error) {
 		ddnMount = tier
 	}
 
+	// The replication federation: one site per Options.Sites name,
+	// nearest first, behind a federated backend at /sites.
+	var repCatalog *replication.Catalog
+	var repEngine *replication.Engine
+	var fedBackend *replication.FederatedBackend
+	var fedSites []*replication.Site
+	if len(opts.Sites) > 0 {
+		for i, name := range opts.Sites {
+			fedSites = append(fedSites, replication.NewSite(name, adal.NewMemFS(name), i))
+		}
+		repCatalog = replication.NewCatalog(replication.CatalogConfig{
+			Meta:        meta,
+			MountPrefix: "/sites",
+		})
+		repEngine, err = replication.NewEngine(replication.Config{
+			Catalog:     repCatalog,
+			Sites:       fedSites,
+			MinReplicas: opts.MinReplicas,
+			Streams:     opts.ReplicaStreams,
+			WAN:         opts.ReplicaWAN,
+			Meta:        meta,
+			MountPrefix: "/sites",
+		})
+		if err != nil {
+			return nil, err
+		}
+		fedBackend = replication.NewFederated("sites", repEngine)
+	}
+
 	mounts := map[string]adal.Backend{
 		"/ddn":     ddnMount,
 		"/ibm":     ibm,
@@ -206,6 +262,9 @@ func New(opts Options) (*Facility, error) {
 	if tapeFS != nil {
 		mounts["/tape"] = tapeFS
 	}
+	if fedBackend != nil {
+		mounts["/sites"] = fedBackend
+	}
 	for prefix, b := range mounts {
 		if err := layer.Mount(prefix, b); err != nil {
 			return nil, err
@@ -213,17 +272,21 @@ func New(opts Options) (*Facility, error) {
 	}
 
 	f := &Facility{
-		Layer:         layer,
-		Meta:          meta,
-		Browser:       databrowser.New(layer, meta),
-		DFS:           cluster,
-		DDN:           ddn,
-		IBM:           ibm,
-		Archive:       arc,
-		ObjectStore:   objStore,
-		Tier:          tier,
-		Tape:          tapeFS,
-		shuffleMemory: opts.ShuffleMemory,
+		Layer:          layer,
+		Meta:           meta,
+		Browser:        databrowser.New(layer, meta),
+		DFS:            cluster,
+		DDN:            ddn,
+		IBM:            ibm,
+		Archive:        arc,
+		ObjectStore:    objStore,
+		Tier:           tier,
+		Tape:           tapeFS,
+		ReplicaCatalog: repCatalog,
+		Replicator:     repEngine,
+		Federation:     fedBackend,
+		FedSites:       fedSites,
+		shuffleMemory:  opts.ShuffleMemory,
 	}
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
 	f.Rules = rules.NewEngine(layer, meta)
@@ -238,6 +301,9 @@ func New(opts Options) (*Facility, error) {
 func (f *Facility) Close() {
 	if f.Tier != nil {
 		f.Tier.Close()
+	}
+	if f.Replicator != nil {
+		f.Replicator.Close()
 	}
 	if f.Meta != nil {
 		f.Meta.Close()

@@ -115,6 +115,11 @@ const (
 	// (resident/premigrated/migrated) for the object at Dataset.Path;
 	// published by the tiering backend, not by a store mutation.
 	EventPlacement
+	// EventReplica announces a replica-catalog state transition
+	// (pending/copying/valid/stale/lost/dropped) for the object at
+	// Dataset.Path on the site named by Event.Site; published by the
+	// replication catalog, not by a store mutation.
+	EventReplica
 )
 
 // String implements fmt.Stringer.
@@ -132,6 +137,8 @@ func (t EventType) String() string {
 		return "deleted"
 	case EventPlacement:
 		return "placement"
+	case EventReplica:
+		return "replica"
 	}
 	return fmt.Sprintf("event(%d)", int(t))
 }
@@ -142,7 +149,8 @@ type Event struct {
 	Type      EventType
 	Dataset   Dataset
 	Tag       string // set for EventTagged/EventUntagged
-	Placement string // set for EventPlacement: the new tier state
+	Placement string // set for EventPlacement/EventReplica: the new state
+	Site      string // set for EventReplica: the replica's site
 }
 
 // Options configures a Store.
@@ -517,6 +525,22 @@ func (s *Store) NotePlacement(path, placement string) {
 		snap = Dataset{Path: path}
 	}
 	ev := Event{Type: EventPlacement, Dataset: snap, Placement: placement}
+	s.stage(ev)
+	s.publish(ev)
+}
+
+// NoteReplica publishes an EventReplica on the store's bus for the
+// object at path: the replication catalog calls it on every replica
+// state transition so the DataBrowser and rule engines observe
+// multi-site convergence without polling the catalog. Like
+// NotePlacement, the event carries the registered dataset snapshot
+// when the path is known, or a synthetic path-only snapshot.
+func (s *Store) NoteReplica(path, site, state string) {
+	snap, ok := s.ByPath(path)
+	if !ok {
+		snap = Dataset{Path: path}
+	}
+	ev := Event{Type: EventReplica, Dataset: snap, Placement: state, Site: site}
 	s.stage(ev)
 	s.publish(ev)
 }

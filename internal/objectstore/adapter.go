@@ -98,21 +98,39 @@ func (b *Backend) Stat(path string) (adal.FileInfo, error) {
 	return adal.FileInfo{Path: path, Size: info.Size, ModTime: info.Modified}, nil
 }
 
-// List implements adal.Backend.
+// listPage is the adapter's pagination unit: List walks the bucket
+// in start-after pages the way an S3 client would, instead of asking
+// for the whole keyspace in one call.
+const listPage = 512
+
+// List implements adal.Backend by paging through the bucket with
+// prefix + start-after, so arbitrarily large buckets list in bounded
+// per-call work (and the store's pagination path gets real traffic —
+// the federated replication backend lists sites through here).
 func (b *Backend) List(prefix string) ([]adal.FileInfo, error) {
-	infos, err := b.store.List(b.bucket, ListOptions{Prefix: key(prefix)})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]adal.FileInfo, 0, len(infos))
-	for _, info := range infos {
-		out = append(out, adal.FileInfo{
-			Path:    "/" + info.Key,
-			Size:    info.Size,
-			ModTime: info.Modified,
+	var out []adal.FileInfo
+	after := ""
+	for {
+		infos, err := b.store.List(b.bucket, ListOptions{
+			Prefix:     key(prefix),
+			StartAfter: after,
+			Max:        listPage,
 		})
+		if err != nil {
+			return nil, err
+		}
+		for _, info := range infos {
+			out = append(out, adal.FileInfo{
+				Path:    "/" + info.Key,
+				Size:    info.Size,
+				ModTime: info.Modified,
+			})
+		}
+		if len(infos) < listPage {
+			return out, nil
+		}
+		after = infos[len(infos)-1].Key
 	}
-	return out, nil
 }
 
 // Remove implements adal.Backend.

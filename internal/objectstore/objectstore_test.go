@@ -328,3 +328,93 @@ func TestObjectStoreInFederation(t *testing.T) {
 		t.Fatalf("replica = %+v err=%v", head, err)
 	}
 }
+
+// TestListPaginationUnderConcurrentWrites pages through a bucket
+// with prefix + start-after while writers keep adding keys: every
+// page must be sorted and strictly after the cursor, no key may
+// appear twice across pages, and every key that existed before the
+// walk started must be seen — the snapshot-consistency contract a
+// replication backend relies on when it lists a live site.
+func TestListPaginationUnderConcurrentWrites(t *testing.T) {
+	s := New(false)
+	if err := s.CreateBucket("live"); err != nil {
+		t.Fatal(err)
+	}
+	const pre = 300
+	for i := 0; i < pre; i++ {
+		if _, err := s.Put("live", fmt.Sprintf("data/pre-%05d", i), strings.NewReader("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Writers insert a bounded key count (not free-running: an
+	// unthrottled writer can outproduce the paged walker forever on a
+	// slow machine, and the walk below must terminate even while they
+	// run).
+	const perWriter = 500
+	var writerWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("data/new-%d-%06d", w, i)
+				if _, err := s.Put("live", key, strings.NewReader("y")); err != nil {
+					t.Errorf("put %s: %v", key, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for walk := 0; walk < 20; walk++ {
+		seen := make(map[string]bool)
+		after := ""
+		for {
+			page, err := s.List("live", ListOptions{Prefix: "data/", StartAfter: after, Max: 37})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, info := range page {
+				if info.Key <= after {
+					t.Fatalf("walk %d: key %q not after cursor %q", walk, info.Key, after)
+				}
+				if i > 0 && page[i].Key <= page[i-1].Key {
+					t.Fatalf("walk %d: page unsorted at %q", walk, info.Key)
+				}
+				if seen[info.Key] {
+					t.Fatalf("walk %d: key %q seen twice", walk, info.Key)
+				}
+				seen[info.Key] = true
+			}
+			if len(page) < 37 {
+				break
+			}
+			after = page[len(page)-1].Key
+		}
+		for i := 0; i < pre; i++ {
+			if key := fmt.Sprintf("data/pre-%05d", i); !seen[key] {
+				t.Fatalf("walk %d: pre-existing key %q skipped", walk, key)
+			}
+		}
+	}
+	writerWG.Wait()
+
+	// The ADAL adapter's paged List sees one coherent namespace too.
+	b, err := NewBackend("s3", s, "live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	infos, err := b.List("/data/pre-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != pre {
+		t.Fatalf("adapter listed %d pre keys, want %d", len(infos), pre)
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i].Path <= infos[i-1].Path {
+			t.Fatalf("adapter list unsorted at %q", infos[i].Path)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package replication
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/units"
+)
+
+func benchFed(b *testing.B, min int) (*FederatedBackend, *Engine, *Catalog, []*Site) {
+	b.Helper()
+	sites := []*Site{
+		NewSite("kit", adal.NewMemFS("kit"), 0),
+		NewSite("gridka", adal.NewMemFS("gridka"), 1),
+		NewSite("desy", adal.NewMemFS("desy"), 2),
+	}
+	cat := NewCatalog(CatalogConfig{}) // no bus: measure the data path
+	eng, err := NewEngine(Config{Catalog: cat, Sites: sites, MinReplicas: min, Streams: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(eng.Close)
+	return NewFederated("fed", eng), eng, cat, sites
+}
+
+// BenchmarkReplicate measures end-to-end fan-out: a federated write
+// followed by the asynchronous transfers that bring the object to
+// MinReplicas=2. SetBytes counts the logical object size, so the
+// reported MB/s is application throughput (the engine moves ~2x
+// that: home write + one transfer).
+func BenchmarkReplicate(b *testing.B) {
+	fb, eng, _, _ := benchFed(b, 2)
+	const objSize = 256 * units.KiB
+	data := bytes.Repeat([]byte("r"), int(objSize))
+	b.SetBytes(int64(objSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/b/%06d", i)
+		w, err := fb.Create(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	eng.Wait()
+	b.StopTimer()
+	if st := eng.Stats(); st.Transfers != uint64(b.N) || st.Failures != 0 {
+		b.Fatalf("transfers = %d failures = %d for %d objects", st.Transfers, st.Failures, b.N)
+	}
+}
+
+// BenchmarkDirectRead is the baseline: every site up, the read is
+// served by the nearest valid replica with no failover machinery
+// engaged beyond candidate selection.
+func BenchmarkDirectRead(b *testing.B) {
+	fb, eng, _, _ := benchFed(b, 3)
+	const objSize = 256 * units.KiB
+	writeBench(b, fb, "/b/obj", int(objSize))
+	eng.Wait()
+	b.SetBytes(int64(objSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		readBench(b, fb, "/b/obj")
+	}
+}
+
+// BenchmarkFailoverRead measures the degraded path: the nearest
+// replica's site is down, and each Open re-marks that replica valid
+// so every iteration pays the full failover — try nearest, fail,
+// mark stale, switch to the next site.
+func BenchmarkFailoverRead(b *testing.B) {
+	fb, eng, cat, sites := benchFed(b, 3)
+	const objSize = 256 * units.KiB
+	writeBench(b, fb, "/b/obj", int(objSize))
+	eng.Wait()
+	nearest := sites[0]
+	nearest.SetDown(true)
+	b.SetBytes(int64(objSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cat.Mark("/b/obj", nearest.Name, Valid, "")
+		readBench(b, fb, "/b/obj")
+	}
+	b.StopTimer()
+	eng.Wait()
+}
+
+func writeBench(b *testing.B, fb *FederatedBackend, path string, size int) {
+	b.Helper()
+	w, err := fb.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(bytes.Repeat([]byte("d"), size)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func readBench(b *testing.B, fb *FederatedBackend, path string) {
+	b.Helper()
+	r, err := fb.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		b.Fatal(err)
+	}
+	r.Close()
+}

@@ -1,0 +1,340 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/units"
+)
+
+// FederatedBackend exposes the whole federation through the plain
+// adal.Backend contract: reads resolve to the nearest site holding a
+// valid replica and fail over transparently — at Open and mid-stream
+// — when a site errors, marking the failed replica Stale (Lost on
+// not-found) and enqueueing its re-replication; writes land on the
+// nearest reachable site (the object's home) and trigger asynchronous
+// fan-out to MinReplicas. This is PR 2's refresh-on-failure reader
+// discipline lifted from DFS replicas to sites.
+type FederatedBackend struct {
+	name    string
+	catalog *Catalog
+	engine  *Engine
+	clock   func() time.Time
+
+	failovers    atomic.Uint64 // candidate switches at Open time
+	midStream    atomic.Uint64 // reader switches mid-stream
+	listFailures atomic.Uint64 // per-site List errors absorbed by the union
+}
+
+var _ adal.Backend = (*FederatedBackend)(nil)
+
+// FederatedStats is a snapshot of the backend's failover counters.
+type FederatedStats struct {
+	Failovers    uint64
+	MidStream    uint64
+	ListFailures uint64
+}
+
+// NewFederated wraps an engine's federation as a backend.
+func NewFederated(name string, engine *Engine) *FederatedBackend {
+	return &FederatedBackend{
+		name:    name,
+		catalog: engine.catalog,
+		engine:  engine,
+		clock:   time.Now,
+	}
+}
+
+// Name implements adal.Backend.
+func (f *FederatedBackend) Name() string { return f.name }
+
+// FedStats returns the failover counters.
+func (f *FederatedBackend) FedStats() FederatedStats {
+	return FederatedStats{
+		Failovers:    f.failovers.Load(),
+		MidStream:    f.midStream.Load(),
+		ListFailures: f.listFailures.Load(),
+	}
+}
+
+// ReplicaSites reports the sites holding a valid replica of the
+// backend-relative path; the DataBrowser discovers this method
+// structurally through the mount table.
+func (f *FederatedBackend) ReplicaSites(rel string) ([]string, bool) {
+	if !f.catalog.Known(rel) {
+		return nil, false
+	}
+	return f.catalog.ValidSites(rel), true
+}
+
+// noteFailure records a failed site read: the replica is marked
+// Stale (Lost when the site reports the object missing) and its
+// re-replication is enqueued.
+func (f *FederatedBackend) noteFailure(s *Site, path string, err error) {
+	st := Stale
+	if errors.Is(err, adal.ErrNotFound) {
+		st = Lost
+	}
+	f.catalog.Mark(path, s.Name, st, err.Error())
+	f.engine.Ensure(path)
+}
+
+// readCandidates orders the sites worth trying for a read of path:
+// valid replicas nearest first, then stale ones (their bytes are
+// suspect but better than failing), skipping sites already tried.
+func (f *FederatedBackend) readCandidates(path string, tried map[string]bool) []*Site {
+	var valid, stale []*Site
+	for _, rep := range f.catalog.Replicas(path) {
+		if tried[rep.Site] {
+			continue
+		}
+		s, ok := f.engine.Site(rep.Site)
+		if !ok {
+			continue
+		}
+		switch rep.State {
+		case Valid:
+			valid = append(valid, s)
+		case Stale:
+			stale = append(stale, s)
+		}
+	}
+	sortSites(valid)
+	sortSites(stale)
+	return append(valid, stale...)
+}
+
+// Open implements adal.Backend: nearest valid replica, transparent
+// failover, and a reader that keeps failing over mid-stream.
+func (f *FederatedBackend) Open(path string) (io.ReadCloser, error) {
+	if !f.catalog.Known(path) {
+		return nil, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, f.name, path)
+	}
+	tried := make(map[string]bool)
+	var lastErr error
+	for {
+		cands := f.readCandidates(path, tried)
+		if len(cands) == 0 {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("%w: %s:%s (no readable replica)", adal.ErrNotFound, f.name, path)
+			}
+			return nil, lastErr
+		}
+		s := cands[0]
+		tried[s.Name] = true
+		r, err := s.open(path)
+		if err != nil {
+			f.noteFailure(s, path, err)
+			f.failovers.Add(1)
+			lastErr = err
+			continue
+		}
+		return &failoverReader{fb: f, path: path, site: s, cur: r, tried: tried}, nil
+	}
+}
+
+// failoverReader streams one replica and, when a site dies under it,
+// resumes from the next candidate at the current offset — the caller
+// sees one uninterrupted byte stream.
+type failoverReader struct {
+	fb     *FederatedBackend
+	path   string
+	site   *Site
+	cur    io.ReadCloser
+	offset int64
+	tried  map[string]bool
+	closed bool
+}
+
+func (r *failoverReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, fmt.Errorf("replication: read after close: %s", r.path)
+	}
+	for {
+		n, err := r.cur.Read(p)
+		r.offset += int64(n)
+		if err == nil || err == io.EOF {
+			return n, err
+		}
+		r.fb.noteFailure(r.site, r.path, err)
+		if !r.switchSource() {
+			return n, err
+		}
+		r.fb.midStream.Add(1)
+		if n > 0 {
+			return n, nil
+		}
+	}
+}
+
+// switchSource opens the next untried candidate and fast-forwards it
+// to the current offset.
+func (r *failoverReader) switchSource() bool {
+	for {
+		cands := r.fb.readCandidates(r.path, r.tried)
+		if len(cands) == 0 {
+			return false
+		}
+		s := cands[0]
+		r.tried[s.Name] = true
+		nr, err := s.openAt(r.path, r.offset)
+		if err != nil {
+			r.fb.noteFailure(s, r.path, err)
+			continue
+		}
+		r.cur.Close()
+		r.cur, r.site = nr, s
+		return true
+	}
+}
+
+func (r *failoverReader) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	return r.cur.Close()
+}
+
+// Create implements adal.Backend: the object's home is the nearest
+// reachable site; closing the writer registers the home replica
+// (size + SHA-256) in the catalog and schedules fan-out to
+// MinReplicas.
+func (f *FederatedBackend) Create(path string) (io.WriteCloser, error) {
+	if f.catalog.Known(path) {
+		return nil, fmt.Errorf("%w: %s:%s", adal.ErrExists, f.name, path)
+	}
+	var lastErr error
+	for _, s := range f.engine.Sites() {
+		if s.IsDown() {
+			continue
+		}
+		w, err := s.create(path)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, adal.ErrExists) {
+				return nil, err
+			}
+			continue
+		}
+		return adal.NewChecksumWriter(w, func(n units.Bytes, sum string, werr error) error {
+			if werr != nil {
+				// Gated cleanup: a home site that died mid-write keeps
+				// its partial bytes, like a site behind a severed link.
+				_ = s.remove(path)
+				return werr
+			}
+			f.catalog.Set(path, Replica{
+				Site: s.Name, State: Valid, Size: n, Checksum: sum,
+			})
+			f.engine.Ensure(path)
+			return nil
+		}), nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("replication: %s: every site down", f.name)
+	}
+	return nil, lastErr
+}
+
+// Stat implements adal.Backend from the catalog record (size and
+// content hash are recorded at write time), falling back to a
+// failover stat across sites for catalogs built by recovery.
+func (f *FederatedBackend) Stat(path string) (adal.FileInfo, error) {
+	if !f.catalog.Known(path) {
+		return adal.FileInfo{}, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, f.name, path)
+	}
+	if _, size, ok := f.catalog.Checksum(path); ok && size > 0 {
+		for _, rep := range f.catalog.Replicas(path) {
+			if rep.State != Valid {
+				continue
+			}
+			if s, ok := f.engine.Site(rep.Site); ok && !s.IsDown() {
+				if info, err := s.stat(path); err == nil {
+					info.Path = path
+					return info, nil
+				}
+			}
+		}
+		return adal.FileInfo{Path: path, Size: size}, nil
+	}
+	var lastErr error
+	for _, s := range f.engine.Sites() {
+		info, err := s.stat(path)
+		if err == nil {
+			info.Path = path
+			return info, nil
+		}
+		lastErr = err
+	}
+	return adal.FileInfo{}, lastErr
+}
+
+// List implements adal.Backend as a union across sites: every
+// reachable site lists the prefix (an object-store site pages through
+// start-after here), per-path duplicates keep the nearest site's
+// entry, and entries are filtered against the catalog so half-copied
+// replicas (Pending/Copying) never surface. Sites that fail to list
+// are absorbed by the union, not surfaced — listing survives an
+// outage exactly as Open does.
+func (f *FederatedBackend) List(prefix string) ([]adal.FileInfo, error) {
+	seen := make(map[string]adal.FileInfo)
+	okSites := 0
+	var lastErr error
+	for _, s := range f.engine.Sites() { // nearest first: first entry wins
+		infos, err := s.list(prefix)
+		if err != nil {
+			f.listFailures.Add(1)
+			lastErr = err
+			continue
+		}
+		okSites++
+		for _, info := range infos {
+			if _, dup := seen[info.Path]; dup {
+				continue
+			}
+			rep, has := f.catalog.Get(info.Path, s.Name)
+			if !has || (rep.State != Valid && rep.State != Stale) {
+				continue
+			}
+			seen[info.Path] = info
+		}
+	}
+	if okSites == 0 {
+		if lastErr == nil {
+			lastErr = fmt.Errorf("replication: %s: every site down", f.name)
+		}
+		return nil, lastErr
+	}
+	out := make([]adal.FileInfo, 0, len(seen))
+	for _, info := range seen {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// Remove implements adal.Backend: best-effort removal on every site
+// holding a replica, then the catalog entry is dropped. A site that
+// is down at removal time keeps orphaned bytes permanently — with
+// the catalog entry gone, no verify or reconcile will revisit them
+// (they stay invisible to reads and List, which filter through the
+// catalog). A garbage collector diffing site contents against the
+// catalog is the missing piece, deliberately out of scope here.
+func (f *FederatedBackend) Remove(path string) error {
+	if !f.catalog.Known(path) {
+		return fmt.Errorf("%w: %s:%s", adal.ErrNotFound, f.name, path)
+	}
+	for _, rep := range f.catalog.Replicas(path) {
+		if s, ok := f.engine.Site(rep.Site); ok {
+			_ = s.remove(path)
+		}
+	}
+	f.catalog.DropPath(path)
+	return nil
+}

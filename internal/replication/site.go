@@ -1,0 +1,163 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"repro/internal/adal"
+)
+
+// ErrSiteDown is returned by every operation against a site marked
+// down. The gate sits in front of the backend — a down MemFS site
+// keeps its bytes, exactly like a real site behind a severed WAN
+// link — and is also checked on every Read of an already-open
+// stream, so an outage fails in-flight reads too (which is what the
+// federated reader's mid-stream failover recovers from).
+var ErrSiteDown = errors.New("replication: site down")
+
+// Site is one storage location participating in the federation: a
+// name, a backend, and a distance that orders read preference (the
+// "nearest replica" metric — hop count, RTT class, or administrative
+// preference; lower is nearer).
+type Site struct {
+	Name     string
+	Backend  adal.Backend
+	Distance int
+
+	down atomic.Bool
+}
+
+// NewSite wraps a backend as a federation site.
+func NewSite(name string, b adal.Backend, distance int) *Site {
+	return &Site{Name: name, Backend: b, Distance: distance}
+}
+
+// SetDown marks the site failed (true) or revived (false). Down
+// sites fail every operation, including reads in flight.
+func (s *Site) SetDown(down bool) { s.down.Store(down) }
+
+// IsDown reports the site's health gate.
+func (s *Site) IsDown() bool { return s.down.Load() }
+
+func (s *Site) errDown() error {
+	return fmt.Errorf("%w: %s", ErrSiteDown, s.Name)
+}
+
+// open gates Backend.Open and wraps the stream so a kill mid-read
+// surfaces as ErrSiteDown on the next Read.
+func (s *Site) open(path string) (io.ReadCloser, error) {
+	if s.IsDown() {
+		return nil, s.errDown()
+	}
+	r, err := s.Backend.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedReader{site: s, r: r}, nil
+}
+
+type gatedReader struct {
+	site *Site
+	r    io.ReadCloser
+}
+
+func (g *gatedReader) Read(p []byte) (int, error) {
+	if g.site.IsDown() {
+		return 0, g.site.errDown()
+	}
+	return g.r.Read(p)
+}
+
+func (g *gatedReader) Close() error { return g.r.Close() }
+
+// openAt opens the site's copy of path fast-forwarded to offset —
+// the resume primitive shared by the engine's mid-copy source
+// failover and the federated reader's mid-stream switch.
+func (s *Site) openAt(path string, offset int64) (io.ReadCloser, error) {
+	r, err := s.open(path)
+	if err != nil {
+		return nil, err
+	}
+	if offset > 0 {
+		if _, err := io.CopyN(io.Discard, r, offset); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// create gates Backend.Create; a kill mid-write fails the Write/Close.
+func (s *Site) create(path string) (io.WriteCloser, error) {
+	if s.IsDown() {
+		return nil, s.errDown()
+	}
+	w, err := s.Backend.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedWriter{site: s, w: w}, nil
+}
+
+type gatedWriter struct {
+	site *Site
+	w    io.WriteCloser
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	if g.site.IsDown() {
+		return 0, g.site.errDown()
+	}
+	return g.w.Write(p)
+}
+
+func (g *gatedWriter) Close() error {
+	if g.site.IsDown() {
+		// Still close the underlying writer so the backend releases
+		// its reservation, but report the outage.
+		_ = g.w.Close()
+		return g.site.errDown()
+	}
+	return g.w.Close()
+}
+
+func (s *Site) stat(path string) (adal.FileInfo, error) {
+	if s.IsDown() {
+		return adal.FileInfo{}, s.errDown()
+	}
+	return s.Backend.Stat(path)
+}
+
+func (s *Site) list(prefix string) ([]adal.FileInfo, error) {
+	if s.IsDown() {
+		return nil, s.errDown()
+	}
+	return s.Backend.List(prefix)
+}
+
+func (s *Site) remove(path string) error {
+	if s.IsDown() {
+		return s.errDown()
+	}
+	return s.Backend.Remove(path)
+}
+
+// sortSites orders sites by distance, name as tie-break — the
+// deterministic "nearest first" preference used by reads and by the
+// engine's source/destination selection.
+func sortSites(sites []*Site) {
+	for i := 1; i < len(sites); i++ {
+		for j := i; j > 0 && nearer(sites[j], sites[j-1]); j-- {
+			sites[j], sites[j-1] = sites[j-1], sites[j]
+		}
+	}
+}
+
+func nearer(a, b *Site) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Name < b.Name
+}

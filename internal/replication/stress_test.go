@@ -1,0 +1,182 @@
+package replication
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentFailoverDuringKillRevive is the -race gate for the
+// read path: readers hammer fully-replicated objects while sites are
+// killed and revived one at a time. Every read must succeed with the
+// right bytes — the acceptance invariant of E14.
+func TestConcurrentFailoverDuringKillRevive(t *testing.T) {
+	fb, eng, _, sites, _ := testFed(t, Config{Streams: 8})
+	const (
+		objects = 16
+		readers = 8
+		loops   = 40
+	)
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i), byte(i >> 3)}, 8*1024)
+	}
+	for i := 0; i < objects; i++ {
+		writeObject(t, fb, fmt.Sprintf("/st/%03d", i), payload(i))
+	}
+	eng.Wait()
+
+	stop := make(chan struct{})
+	var failed atomic.Uint64
+	var readerWG, killerWG sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			for l := 0; l < loops; l++ {
+				i := (r*loops + l) % objects
+				path := fmt.Sprintf("/st/%03d", i)
+				rd, err := fb.Open(path)
+				if err != nil {
+					failed.Add(1)
+					t.Errorf("open %s: %v", path, err)
+					continue
+				}
+				got, rerr := io.ReadAll(rd)
+				rd.Close()
+				if rerr != nil {
+					failed.Add(1)
+					t.Errorf("read %s: %v", path, rerr)
+				} else if !bytes.Equal(got, payload(i)) {
+					failed.Add(1)
+					t.Errorf("read %s: wrong bytes (%d)", path, len(got))
+				}
+			}
+		}(r)
+	}
+	// Kill/revive one site at a time; MinReplicas=2 guarantees a
+	// surviving valid replica for every object.
+	killerWG.Add(1)
+	go func() {
+		defer killerWG.Done()
+		k := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := sites[k%len(sites)]
+			s.SetDown(true)
+			time.Sleep(2 * time.Millisecond)
+			s.SetDown(false)
+			time.Sleep(time.Millisecond)
+			k++
+		}
+	}()
+	readerWG.Wait()
+	close(stop)
+	killerWG.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d failed reads during kill/revive", failed.Load())
+	}
+	eng.Wait()
+}
+
+// TestCatalogConvergesAfterArbitraryKillSchedules is the seeded
+// property test: whatever kill/revive/write/read schedule runs, once
+// every site is back and one Reconcile sweep drains, every path holds
+// at least MinReplicas valid, checksum-verified replicas.
+func TestCatalogConvergesAfterArbitraryKillSchedules(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			fb, eng, cat, sites, _ := testFed(t, Config{Streams: 6})
+			nextObj := 0
+			write := func() bool {
+				for _, s := range sites {
+					if !s.IsDown() {
+						path := fmt.Sprintf("/pr/%03d", nextObj)
+						writeObject(t, fb, path, bytes.Repeat([]byte{byte(nextObj)}, 2048+nextObj*7))
+						nextObj++
+						return true
+					}
+				}
+				return false
+			}
+			for i := 0; i < 6; i++ {
+				write()
+			}
+			eng.Wait()
+
+			for round := 0; round < 8; round++ {
+				// Arbitrary site state: each site independently down
+				// with p=0.4, but never all three.
+				up := 0
+				for _, s := range sites {
+					down := rng.Float64() < 0.4
+					s.SetDown(down)
+					if !down {
+						up++
+					}
+				}
+				if up == 0 {
+					sites[rng.Intn(len(sites))].SetDown(false)
+				}
+				// Churn: reads (failures tolerated mid-schedule),
+				// occasional writes and reconciles.
+				for i := 0; i < 5; i++ {
+					if nextObj > 0 {
+						path := fmt.Sprintf("/pr/%03d", rng.Intn(nextObj))
+						if r, err := fb.Open(path); err == nil {
+							buf := make([]byte, 1024)
+							for {
+								if _, err := r.Read(buf); err != nil {
+									break
+								}
+							}
+							r.Close()
+						}
+					}
+					if rng.Float64() < 0.3 {
+						write()
+					}
+				}
+				if rng.Float64() < 0.5 {
+					eng.Reconcile()
+				}
+			}
+
+			// Full revival + one sweep = convergence.
+			for _, s := range sites {
+				s.SetDown(false)
+			}
+			eng.Reconcile()
+			eng.Wait()
+			// A second sweep covers jobs that failed right at the end
+			// of the schedule (their retry budget died with a site).
+			eng.Reconcile()
+			eng.Wait()
+
+			min := eng.MinReplicas()
+			for _, path := range cat.Paths() {
+				if n := cat.CountValid(path); n < min {
+					t.Errorf("%s: %d valid replicas after convergence, want >= %d (%+v)",
+						path, n, min, cat.Replicas(path))
+				}
+				valid, err := eng.Verify(path)
+				if err != nil {
+					t.Errorf("verify %s: %v", path, err)
+				} else if valid < min {
+					t.Errorf("%s: only %d replicas verified", path, valid)
+				}
+			}
+			eng.Wait()
+		})
+	}
+}

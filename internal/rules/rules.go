@@ -24,6 +24,9 @@ const (
 	OnCreate On = iota
 	OnTag
 	OnProcessing
+	// OnReplica fires for replica-catalog state transitions
+	// (metadata.EventReplica); Rule.State narrows to one state.
+	OnReplica
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +38,8 @@ func (o On) String() string {
 		return "on-tag"
 	case OnProcessing:
 		return "on-processing"
+	case OnReplica:
+		return "on-replica"
 	}
 	return fmt.Sprintf("on(%d)", int(o))
 }
@@ -132,6 +137,28 @@ func VerifyChecksum() Action {
 	}
 }
 
+// ReplicaEnsurer is the slice of the replication engine rules need:
+// schedule a federated path toward its MinReplicas target. The
+// interface is structural so rules stays decoupled from
+// internal/replication (replication.Engine implements it).
+type ReplicaEnsurer interface {
+	EnsureFederated(path string)
+}
+
+// EnsureReplicas schedules the dataset's object for multi-site
+// replication. The call is asynchronous — the engine's catalog (and
+// its EventReplica stream) reports progress; paths outside the
+// federation mount are ignored by the engine.
+func EnsureReplicas(r ReplicaEnsurer) Action {
+	return ActionFunc{
+		Label: "ensure-replicas",
+		Fn: func(ctx *Context, ds metadata.Dataset) error {
+			r.EnsureFederated(ds.Path)
+			return nil
+		},
+	}
+}
+
 // AddTag tags the dataset.
 func AddTag(tag string) Action {
 	return ActionFunc{
@@ -147,6 +174,7 @@ type Rule struct {
 	Name      string
 	Event     On
 	Tag       string // for OnTag: the tag that fires the rule ("" = any)
+	State     string // for OnReplica: the replica state that fires it ("" = any)
 	Condition Condition
 	Actions   []Action
 }
@@ -219,6 +247,8 @@ func (e *Engine) onEvent(ev metadata.Event) {
 		on = OnTag
 	case metadata.EventProcessingAdded:
 		on = OnProcessing
+	case metadata.EventReplica:
+		on = OnReplica
 	default:
 		return
 	}
@@ -229,6 +259,9 @@ func (e *Engine) onEvent(ev metadata.Event) {
 			continue
 		}
 		if on == OnTag && r.Tag != "" && r.Tag != ev.Tag {
+			continue
+		}
+		if on == OnReplica && r.State != "" && r.State != ev.Placement {
 			continue
 		}
 		if r.Condition != nil && !r.Condition(ev.Dataset) {
