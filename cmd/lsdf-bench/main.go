@@ -20,6 +20,11 @@ import (
 )
 
 func main() {
+	// E15 (durable metadata) re-executes this binary as its ingest
+	// child; when that environment is set the child loop takes over
+	// and never returns.
+	experiments.E15ChildMain()
+
 	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

@@ -1,10 +1,19 @@
 package experiments
 
 import (
+	"os"
 	"strconv"
 	"strings"
 	"testing"
 )
+
+// TestMain lets this test binary double as E15's ingest child: when
+// re-executed with the E15 environment set, E15ChildMain takes over
+// and never returns (the parent SIGKILLs it mid-ingest).
+func TestMain(m *testing.M) {
+	E15ChildMain()
+	os.Exit(m.Run())
+}
 
 // TestAllExperimentsRun executes the full registry; every experiment
 // must produce a well-formed table.
@@ -153,5 +162,50 @@ func TestE14ZeroFailedReadsAndConvergence(t *testing.T) {
 	reads := row("reads during site outage")
 	if n, err := strconv.Atoi(reads); err != nil || n == 0 {
 		t.Fatalf("no reads exercised the outage window: %q", reads)
+	}
+}
+
+// TestE15ZeroLostAcked runs the real kill -9 experiment and pins the
+// crash-consistency contract: the child is SIGKILLed during
+// sustained batched ingest, and recovery must surface every
+// acknowledged dataset (with tags, placement and replica state) and
+// nothing that was never submitted.
+func TestE15ZeroLostAcked(t *testing.T) {
+	tbl, err := E15DurableMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(name string) string {
+		t.Helper()
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r[1]
+			}
+		}
+		t.Fatalf("row %q missing: %v", name, tbl.Rows)
+		return ""
+	}
+	for _, metric := range []string{
+		"lost acknowledged datasets",
+		"phantom datasets",
+		"acked with wrong tags/placement/replicas",
+	} {
+		if got := row(metric); got != "0" {
+			t.Errorf("%s = %s, want 0", metric, got)
+		}
+	}
+	ackedBatches, _ := strconv.Atoi(row("batches acknowledged before SIGKILL"))
+	if ackedBatches < 25 {
+		t.Errorf("only %d batches acked before the kill; the window was too small to mean anything", ackedBatches)
+	}
+	acked, _ := strconv.Atoi(row("datasets acknowledged"))
+	recovered, _ := strconv.Atoi(row("datasets recovered"))
+	if recovered < acked {
+		t.Errorf("recovered %d < acknowledged %d", recovered, acked)
+	}
+	replayed, _ := strconv.Atoi(row("WAL records replayed"))
+	snaps, _ := strconv.Atoi(row("snapshots loaded on recovery"))
+	if replayed == 0 && snaps == 0 {
+		t.Error("recovery touched neither snapshots nor WAL records — the experiment exercised nothing")
 	}
 }

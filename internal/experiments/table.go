@@ -84,5 +84,6 @@ func All() []Runner {
 		{"E12", "rules", E12Rules},
 		{"E13", "tiered-data-path", E13TieredDataPath},
 		{"E14", "multi-site-replication", E14MultiSiteReplication},
+		{"E15", "durable-metadata", E15DurableMetadata},
 	}
 }

@@ -17,6 +17,7 @@ package facility
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/adal"
 	"repro/internal/cloud"
@@ -70,6 +71,23 @@ type Options struct {
 	// EventQueue bounds each subscriber's event queue when
 	// AsyncEvents is set (default 256).
 	EventQueue int
+	// WALDir enables durable metadata when non-empty: every mutation
+	// is journaled to a per-shard write-ahead log under this
+	// directory before it is acknowledged, compacted snapshots are
+	// taken as the logs grow, and reopening a facility on the same
+	// directory recovers the full metadata state — datasets, tags,
+	// processing history, placement and replica notes — after a crash
+	// or kill -9 (experiment E15). Empty (the default) keeps the
+	// store purely in-memory, as before.
+	WALDir string
+	// SnapshotEvery is the per-shard record count between compacted
+	// snapshots when WALDir is set (default 512).
+	SnapshotEvery int
+	// GroupCommitInterval is the WAL group-commit window: a commit
+	// leader waits this long for concurrent mutations to pile into
+	// the batch before paying one shared fsync. 0 commits eagerly
+	// (every waiter still shares the in-flight sync).
+	GroupCommitInterval time.Duration
 
 	// TierHotCapacity enables the live tiered data path when > 0:
 	// the /ddn mount becomes a tiering.TierBackend federating the DDN
@@ -190,11 +208,17 @@ func New(opts Options) (*Facility, error) {
 	if err != nil {
 		return nil, err
 	}
-	meta := metadata.NewStoreWith(metadata.Options{
-		Shards:   opts.MetadataShards,
-		Async:    opts.AsyncEvents,
-		QueueLen: opts.EventQueue,
+	meta, err := metadata.Open(metadata.Options{
+		Shards:              opts.MetadataShards,
+		Async:               opts.AsyncEvents,
+		QueueLen:            opts.EventQueue,
+		WALDir:              opts.WALDir,
+		SnapshotEvery:       opts.SnapshotEvery,
+		GroupCommitInterval: opts.GroupCommitInterval,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("facility: metadata recovery: %w", err)
+	}
 
 	// The /ddn mount: plain MemFS, or — with tiering on — a
 	// TierBackend whose hot store is that same MemFS and whose cold

@@ -65,6 +65,10 @@ func (s *Store) CreateBatch(specs []CreateSpec) []CreateResult {
 	}
 
 	// Round 2: insert the claimed datasets, one lock round per shard.
+	// On a durable store every dataset stages one create record (its
+	// spec tags folded in) while the shard lock is held, and the
+	// whole shard group rides a single group commit — one fsync per
+	// touched shard, paid in parallel across shards.
 	shardGroups := make([][]int, len(s.shards))
 	for i := range specs {
 		if ids[i] == "" {
@@ -74,12 +78,15 @@ func (s *Store) CreateBatch(specs []CreateSpec) []CreateResult {
 		shardGroups[shi] = append(shardGroups[shi], i)
 	}
 	observed := s.bus.hasSubscribers()
+	lsns := make([]uint64, len(s.shards))
+	pendingEvs := make([][]Event, len(s.shards))
 	for shi, idxs := range shardGroups {
 		if len(idxs) == 0 {
 			continue
 		}
 		sh := s.shards[shi]
 		var evs []Event
+		var jerr error
 		sh.mu.Lock()
 		for _, i := range idxs {
 			sp := specs[i]
@@ -117,10 +124,39 @@ func (s *Store) CreateBatch(specs []CreateSpec) []CreateResult {
 				}
 			}
 			results[i].Dataset = d.clone()
+			rec := results[i].Dataset.clone()
+			var lsn uint64
+			lsn, jerr = s.journal(uint32(shi), walRecord{Op: opCreate, Dataset: &rec, Seq: s.seq.Load()})
+			if jerr != nil {
+				break
+			}
+			if lsn > lsns[shi] {
+				lsns[shi] = lsn
+			}
 		}
 		s.stage(evs...)
 		sh.mu.Unlock()
-		s.publish(evs...)
+		if jerr != nil {
+			for _, i := range idxs {
+				results[i] = CreateResult{Err: jerr}
+			}
+			lsns[shi] = 0
+			continue
+		}
+		pendingEvs[shi] = evs
+	}
+	walErrs := s.journalWaitAll(lsns)
+	for shi, idxs := range shardGroups {
+		if len(idxs) == 0 {
+			continue
+		}
+		if walErrs != nil && walErrs[shi] != nil {
+			for _, i := range idxs {
+				results[i] = CreateResult{Err: walErrs[shi]}
+			}
+			continue
+		}
+		s.publish(pendingEvs[shi]...)
 	}
 	return results
 }
@@ -144,12 +180,15 @@ func (s *Store) TagBatch(specs []TagSpec) error {
 	}
 	var errs []error
 	observed := s.bus.hasSubscribers()
+	lsns := make([]uint64, len(s.shards))
+	pendingEvs := make([][]Event, len(s.shards))
 	for shi, idxs := range groups {
 		if len(idxs) == 0 {
 			continue
 		}
 		sh := s.shards[shi]
 		var evs []Event
+		var jerr error
 		sh.mu.Lock()
 		for _, i := range idxs {
 			sp := specs[i]
@@ -168,13 +207,34 @@ func (s *Store) TagBatch(specs []TagSpec) error {
 				sh.byTag[sp.Tag] = make(map[string]bool)
 			}
 			sh.byTag[sp.Tag][d.ID] = true
+			var lsn uint64
+			lsn, jerr = s.journal(uint32(shi), walRecord{Op: opTag, ID: sp.ID, Tag: sp.Tag})
+			if jerr != nil {
+				break
+			}
+			if lsn > lsns[shi] {
+				lsns[shi] = lsn
+			}
 			if observed {
 				evs = append(evs, Event{Type: EventTagged, Dataset: d.clone(), Tag: sp.Tag})
 			}
 		}
 		s.stage(evs...)
 		sh.mu.Unlock()
-		s.publish(evs...)
+		if jerr != nil {
+			errs = append(errs, jerr)
+			lsns[shi] = 0
+			continue
+		}
+		pendingEvs[shi] = evs
+	}
+	walErrs := s.journalWaitAll(lsns)
+	for shi := range groups {
+		if walErrs != nil && walErrs[shi] != nil {
+			errs = append(errs, walErrs[shi])
+			continue
+		}
+		s.publish(pendingEvs[shi]...)
 	}
 	return errors.Join(errs...)
 }

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/metadata/durafs"
 	"repro/internal/units"
 )
 
@@ -145,5 +147,116 @@ func BenchmarkFindScan(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Find(Query{Basic: map[string]string{"well": "A7"}, Limit: 10})
+	}
+}
+
+// BenchmarkCreateParallelWAL is the WAL-tax companion to
+// BenchmarkCreateParallel: the same 16-shard concurrent-writer grid,
+// with durability off, journaled to an in-memory disk model, and
+// journaled to a real filesystem with and without a group-commit
+// window. The off/os delta is the price of crash durability; the
+// interval column shows group commit buying most of it back under
+// concurrency. EXPERIMENTS.md records the 64-goroutine cells.
+func BenchmarkCreateParallelWAL(b *testing.B) {
+	modes := []struct {
+		name string
+		open func(b *testing.B) *Store
+	}{
+		{"wal=off", func(b *testing.B) *Store {
+			return NewStoreWith(Options{Shards: 16})
+		}},
+		{"wal=mem", func(b *testing.B) *Store {
+			s, err := Open(Options{Shards: 16, WALDir: "/wal", FS: durafs.NewMem()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"wal=os", func(b *testing.B) *Store {
+			s, err := Open(Options{Shards: 16, WALDir: b.TempDir(), FS: durafs.OS()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+		{"wal=os-group100us", func(b *testing.B) *Store {
+			s, err := Open(Options{Shards: 16, WALDir: b.TempDir(), FS: durafs.OS(),
+				GroupCommitInterval: 100 * time.Microsecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}},
+	}
+	for _, mode := range modes {
+		for _, workers := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode.name, workers), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(min(workers, 16))
+				defer runtime.GOMAXPROCS(prev)
+				s := mode.open(b)
+				defer s.Close()
+				var next atomic.Int64
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						for {
+							i := next.Add(1)
+							if i > int64(b.N) {
+								return
+							}
+							if _, err := s.Create("p", fmt.Sprintf("/p/%02d/%09d", w, i), 4*units.MB, "", nil); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+			})
+		}
+	}
+}
+
+// BenchmarkCreateBatchWAL measures bulk ingest through CreateBatch on
+// a durable store: the batch is the natural group-commit unit (one
+// fsync per touched shard for the whole batch), so the per-dataset
+// WAL tax here is the floor.
+func BenchmarkCreateBatchWAL(b *testing.B) {
+	const batch = 256
+	for _, mode := range []string{"wal=off", "wal=os"} {
+		b.Run(mode, func(b *testing.B) {
+			var s *Store
+			if mode == "wal=off" {
+				s = NewStoreWith(Options{Shards: 16})
+			} else {
+				var err error
+				s, err = Open(Options{Shards: 16, WALDir: b.TempDir(), FS: durafs.OS()})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			defer s.Close()
+			specs := make([]CreateSpec, batch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range specs {
+					specs[j] = CreateSpec{
+						Project: "p",
+						Path:    fmt.Sprintf("/b/%09d/%03d", i, j),
+						Size:    4 * units.MB,
+						Tags:    []string{"raw"},
+					}
+				}
+				for _, r := range s.CreateBatch(specs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(batch), "datasets/op")
+		})
 	}
 }

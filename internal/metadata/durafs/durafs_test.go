@@ -1,0 +1,215 @@
+package durafs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func readAll(t *testing.T, fs FS, name string) []byte {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatalf("read %s: %v", name, err)
+	}
+	return data
+}
+
+// TestMemFSCrashDropsUnsynced is the core durability model: synced
+// bytes survive a crash, unsynced bytes do not.
+func TestMemFSCrashDropsUnsynced(t *testing.T) {
+	m := NewMem()
+	f, err := m.OpenAppend("/wal/shard-000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	// Before the crash, reads see everything (page-cache semantics).
+	if got := string(readAll(t, m, "/wal/shard-000.wal")); got != "durablevolatile" {
+		t.Fatalf("pre-crash contents = %q", got)
+	}
+	m.Crash(nil)
+	if got := string(readAll(t, m, "/wal/shard-000.wal")); got != "durable" {
+		t.Fatalf("post-crash contents = %q, want only synced bytes", got)
+	}
+}
+
+// TestMemFSTornCrashKeepsPrefix: with an rng, a crash may keep a
+// prefix of the unsynced extents and tear the last one — but never
+// reorders and never invents bytes.
+func TestMemFSTornCrashKeepsPrefix(t *testing.T) {
+	full := "durable" + "aaaa" + "bbbb" + "cccc"
+	for seed := int64(0); seed < 50; seed++ {
+		m := NewMem()
+		f, _ := m.OpenAppend("/f")
+		f.Write([]byte("durable"))
+		f.Sync()
+		f.Write([]byte("aaaa"))
+		f.Write([]byte("bbbb"))
+		f.Write([]byte("cccc"))
+		m.Crash(rand.New(rand.NewSource(seed)))
+		got := string(readAll(t, m, "/f"))
+		if len(got) < len("durable") || got != full[:len(got)] {
+			t.Fatalf("seed %d: post-crash %q is not a prefix of %q", seed, got, full)
+		}
+	}
+}
+
+// TestMemFSRenameKeepsSyncState: renaming a file with unsynced bytes
+// must not launder them into durability — the snapshot-without-sync
+// bug class.
+func TestMemFSRenameKeepsSyncState(t *testing.T) {
+	m := NewMem()
+	f, _ := m.Create("/snap.tmp")
+	f.Write([]byte("synced"))
+	f.Sync()
+	f.Write([]byte("tail"))
+	f.Close()
+	if err := m.Rename("/snap.tmp", "/snap"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(nil)
+	if got := string(readAll(t, m, "/snap")); got != "synced" {
+		t.Fatalf("post-crash renamed file = %q, want %q", got, "synced")
+	}
+	if _, err := m.Open("/snap.tmp"); err == nil {
+		t.Fatal("old name still present after rename")
+	}
+}
+
+// TestFaultCrashPoint: after the armed operation count, everything —
+// including previously opened handles — returns ErrCrashed.
+func TestFaultCrashPoint(t *testing.T) {
+	ff := NewFault(NewMem(), nil)
+	f, err := ff.OpenAppend("/wal") // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.CrashAfterOps(2)
+	if _, err := f.Write([]byte("a")); err != nil { // op 2
+		t.Fatalf("write before crash point: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, ErrCrashed) { // op 3 fires
+		t.Fatalf("write at crash point: err = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync after crash: err = %v, want ErrCrashed", err)
+	}
+	if _, err := ff.Open("/wal"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("open after crash: err = %v, want ErrCrashed", err)
+	}
+	if !ff.Crashed() {
+		t.Fatal("Crashed() = false after crash point fired")
+	}
+	// The wrapped MemFS survives for recovery: no synced bytes here.
+	if got := readAll(t, ff.Inner(), "/wal"); len(got) != 0 {
+		t.Fatalf("unsynced write survived crash: %q", got)
+	}
+}
+
+// TestFaultFailSyncs: injected fsync failures return the typed error
+// and promote nothing.
+func TestFaultFailSyncs(t *testing.T) {
+	ff := NewFault(NewMem(), nil)
+	f, _ := ff.OpenAppend("/wal")
+	f.Write([]byte("x"))
+	ff.FailSyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync = %v, want ErrInjectedSync", err)
+	}
+	ff.Inner().Crash(nil)
+	if got := readAll(t, ff.Inner(), "/wal"); len(got) != 0 {
+		t.Fatalf("failed sync still promoted bytes: %q", got)
+	}
+}
+
+// TestFaultTearNextWrite: a torn write persists only a prefix and
+// reports the typed error.
+func TestFaultTearNextWrite(t *testing.T) {
+	ff := NewFault(NewMem(), rand.New(rand.NewSource(7)))
+	f, _ := ff.OpenAppend("/wal")
+	ff.TearNextWrite()
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjectedWrite) {
+		t.Fatalf("write = %v, want ErrInjectedWrite", err)
+	}
+	if n >= 10 {
+		t.Fatalf("torn write persisted %d bytes, want < 10", n)
+	}
+	f.Sync()
+	got := readAll(t, ff.Inner(), "/wal")
+	if string(got) != "0123456789"[:n] {
+		t.Fatalf("persisted %q, want the reported %d-byte prefix", got, n)
+	}
+}
+
+// TestMemFSTruncate covers the recovery path's torn-tail drop.
+func TestMemFSTruncate(t *testing.T) {
+	m := NewMem()
+	f, _ := m.OpenAppend("/wal")
+	f.Write([]byte("keepDROP"))
+	f.Sync()
+	if err := f.Truncate(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(readAll(t, m, "/wal")); got != "keep" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	sz, _ := f.Size()
+	if sz != 4 {
+		t.Fatalf("size = %d, want 4", sz)
+	}
+}
+
+// TestOSFSRoundTrip exercises the production implementation against
+// a real temp dir: append, sync, rename, readdir.
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	if err := fs.MkdirAll(dir + "/wal"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenAppend(dir + "/wal/shard-000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(dir+"/wal/shard-000.wal", dir+"/wal/renamed.wal"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir + "/wal"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir(dir + "/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "renamed.wal" {
+		t.Fatalf("readdir = %v", names)
+	}
+	if got := string(readAll(t, fs, dir+"/wal/renamed.wal")); got != "hello" {
+		t.Fatalf("contents = %q", got)
+	}
+}

@@ -1,0 +1,287 @@
+package durafs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models the durability semantics of a
+// real disk: every Write lands in an unsynced extent list, Sync
+// promotes the extents to the durable prefix, and Crash discards —
+// or, when torn writes are enabled, partially keeps — whatever was
+// never synced. After a Crash the tree holds exactly what a disk
+// would after power loss, and the store can be re-opened on it to
+// exercise recovery.
+//
+// All methods are safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+// memFile is one file's state: the durable prefix plus the unsynced
+// extents appended since the last Sync. Reads see durable+unsynced
+// (the OS page cache serves un-fsynced data); only Crash distinguishes
+// the two.
+type memFile struct {
+	durable  []byte
+	unsynced [][]byte
+}
+
+func (mf *memFile) contents() []byte {
+	out := append([]byte(nil), mf.durable...)
+	for _, ext := range mf.unsynced {
+		out = append(out, ext...)
+	}
+	return out
+}
+
+func (mf *memFile) size() int64 {
+	n := int64(len(mf.durable))
+	for _, ext := range mf.unsynced {
+		n += int64(len(ext))
+	}
+	return n
+}
+
+// NewMem returns an empty MemFS with a root directory.
+func NewMem() *MemFS {
+	return &MemFS{files: make(map[string]*memFile), dirs: map[string]bool{".": true}}
+}
+
+func clean(p string) string { return path.Clean("/" + strings.ReplaceAll(p, "\\", "/")) }
+
+// MkdirAll creates dir and any missing parents.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := clean(dir)
+	for d != "/" && d != "." {
+		m.dirs[d] = true
+		d = path.Dir(d)
+	}
+	m.dirs["/"] = true
+	return nil
+}
+
+func (m *MemFS) lookup(name string) (*memFile, error) {
+	mf, ok := m.files[clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return mf, nil
+}
+
+// Create opens name for writing, truncating any existing file. The
+// truncation itself is treated as a metadata operation made durable
+// by SyncDir on the parent (like the directory entry).
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf := &memFile{}
+	m.files[clean(name)] = mf
+	return &memHandle{fs: m, f: mf, write: true}, nil
+}
+
+// OpenAppend opens name for appending, creating it if missing.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, ok := m.files[clean(name)]
+	if !ok {
+		mf = &memFile{}
+		m.files[clean(name)] = mf
+	}
+	return &memHandle{fs: m, f: mf, write: true}, nil
+}
+
+// Open opens name read-only.
+func (m *MemFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, err := m.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return &memHandle{fs: m, f: mf}, nil
+}
+
+// Rename atomically replaces newname with oldname. The renamed
+// file's unsynced extents stay unsynced: a snapshot renamed into
+// place without a prior Sync still loses its tail on Crash, exactly
+// as on a real filesystem.
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mf, err := m.lookup(oldname)
+	if err != nil {
+		return err
+	}
+	delete(m.files, clean(oldname))
+	m.files[clean(newname)] = mf
+	return nil
+}
+
+// Remove deletes name.
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.lookup(name); err != nil {
+		return err
+	}
+	delete(m.files, clean(name))
+	return nil
+}
+
+// ReadDir lists the file names in dir, sorted.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := clean(dir)
+	var names []string
+	for p := range m.files {
+		if path.Dir(p) == d {
+			names = append(names, path.Base(p))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir is a no-op for MemFS: directory entries (Create, Rename,
+// Remove) are modeled as immediately durable. File *contents* are
+// not — that asymmetry is deliberate: it is the failure mode that
+// catches a snapshot renamed into place without a content Sync,
+// which is the bug class the seam exists to expose.
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// Crash simulates power loss. Synced bytes survive; for each file
+// the unsynced extents are dropped — unless rng is non-nil, in which
+// case a random prefix of the extents survives and the last
+// surviving extent may be torn at a random byte, which is the
+// worst-case POSIX allowance. Open handles keep working against the
+// post-crash state (the test harness, not the handle, decides when
+// the "process" is dead — use Fault for that).
+func (m *MemFS) Crash(rng *rand.Rand) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mf := range m.files {
+		if rng != nil && len(mf.unsynced) > 0 {
+			keep := rng.Intn(len(mf.unsynced) + 1)
+			for _, ext := range mf.unsynced[:keep] {
+				mf.durable = append(mf.durable, ext...)
+			}
+			if keep < len(mf.unsynced) && rng.Intn(2) == 0 {
+				tear := mf.unsynced[keep]
+				if n := rng.Intn(len(tear) + 1); n > 0 {
+					mf.durable = append(mf.durable, tear[:n]...)
+				}
+			}
+		}
+		mf.unsynced = nil
+	}
+}
+
+// DurableBytes returns the total synced byte count across all files
+// (for experiment tables and assertions).
+func (m *MemFS) DurableBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, mf := range m.files {
+		n += int64(len(mf.durable))
+	}
+	return n
+}
+
+// memHandle is one open handle on a memFile.
+type memHandle struct {
+	fs     *MemFS
+	f      *memFile
+	off    int64
+	write  bool
+	closed bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	data := h.f.contents()
+	if h.off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.write {
+		return 0, &fs.PathError{Op: "write", Err: fs.ErrPermission}
+	}
+	h.f.unsynced = append(h.f.unsynced, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	for _, ext := range h.f.unsynced {
+		h.f.durable = append(h.f.durable, ext...)
+	}
+	h.f.unsynced = nil
+	return nil
+}
+
+// Truncate cuts the file to size bytes. Like directory operations it
+// is modeled as immediately durable — the store only truncates to
+// drop a torn WAL tail during recovery, where resurrection would be
+// harmless anyway (stale records are skipped by LSN).
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	data := h.f.contents()
+	if size > int64(len(data)) {
+		return fmt.Errorf("truncate beyond EOF: %w", fs.ErrInvalid)
+	}
+	h.f.durable = append([]byte(nil), data[:size]...)
+	h.f.unsynced = nil
+	if h.off > size {
+		h.off = size
+	}
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.f.size(), nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

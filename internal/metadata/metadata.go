@@ -52,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metadata/durafs"
 	"repro/internal/units"
 )
 
@@ -167,10 +168,35 @@ type Options struct {
 	// QueueLen bounds each subscriber's event queue in async mode;
 	// 0 means the default of 256.
 	QueueLen int
+
+	// WALDir enables durability: every mutation is journaled to a
+	// per-shard append-only WAL under this directory before it is
+	// acknowledged, periodic compacted snapshots bound replay, and
+	// Open recovers the full state (datasets, tags, processings,
+	// placements, replicas) from the latest snapshots plus WAL
+	// tails. Empty (the default) keeps the store purely in-memory.
+	WALDir string
+	// SnapshotEvery is the per-shard WAL record count between
+	// compacted snapshots; 0 means the default of 512.
+	SnapshotEvery int
+	// GroupCommitInterval is how long a commit leader waits for
+	// concurrent mutations to join its batch before paying the
+	// fsync. 0 commits immediately (concurrent mutators still share
+	// syncs opportunistically — whatever staged during the previous
+	// commit goes out in one batch).
+	GroupCommitInterval time.Duration
+	// FS routes all durability I/O; nil means the real filesystem
+	// (durafs.OS()). Tests inject durafs.MemFS / durafs.Fault to
+	// crash the store deterministically.
+	FS durafs.FS
 }
 
 // DefaultShards is the shard count used when Options.Shards is 0.
 const DefaultShards = 16
+
+// DefaultSnapshotEvery is the per-shard WAL record count between
+// compacted snapshots when Options.SnapshotEvery is 0.
+const DefaultSnapshotEvery = 512
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
@@ -182,6 +208,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueLen <= 0 {
 		o.QueueLen = 256
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = DefaultSnapshotEvery
 	}
 	return o
 }
@@ -205,10 +234,34 @@ type shard struct {
 
 // pathShard holds the slice of the logical-path namespace that
 // hashes onto it. Claiming a path here is what makes Create's
-// duplicate detection race-free without a global lock.
+// duplicate detection race-free without a global lock. It also
+// carries the per-path placement and replica notes (keyed by the
+// same hash), which durable stores journal and recover.
 type pathShard struct {
-	mu     sync.RWMutex
-	byPath map[string]string // path -> id
+	mu        sync.RWMutex
+	byPath    map[string]string            // path -> id
+	placement map[string]string            // path -> tier placement state
+	replicas  map[string]map[string]string // path -> site -> replica state
+}
+
+// setPlacement records a placement note; callers hold ps.mu (or run
+// single-threaded recovery).
+func (ps *pathShard) setPlacement(path, state string) {
+	if ps.placement == nil {
+		ps.placement = make(map[string]string)
+	}
+	ps.placement[path] = state
+}
+
+// setReplica records a replica note; same locking contract.
+func (ps *pathShard) setReplica(path, site, state string) {
+	if ps.replicas == nil {
+		ps.replicas = make(map[string]map[string]string)
+	}
+	if ps.replicas[path] == nil {
+		ps.replicas[path] = make(map[string]string)
+	}
+	ps.replicas[path][site] = state
 }
 
 // Store is the metadata repository. All methods are safe for
@@ -222,6 +275,13 @@ type Store struct {
 	clockMu    sync.RWMutex
 	clock      func() time.Time
 	bus        *bus
+
+	// Durability plane (nil for pure in-memory stores): per-shard
+	// WALs + snapshots behind the durafs seam. See wal.go,
+	// snapshot.go, durable.go.
+	wal       *walSet
+	walErrs   atomic.Int64
+	recovered RecoveryStats
 }
 
 // NewStore creates an empty repository with default options:
@@ -234,8 +294,26 @@ func NewStoreWithClock(clock func() time.Time) *Store {
 	return NewStoreWith(Options{Clock: clock})
 }
 
-// NewStoreWith creates a repository from explicit options.
+// NewStoreWith creates a repository from explicit options. It panics
+// if recovery fails, which can only happen when Options.WALDir is
+// set — durable callers should prefer Open and handle the error.
 func NewStoreWith(opts Options) *Store {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open creates a repository from explicit options. With
+// Options.WALDir set it recovers prior state from the newest valid
+// snapshot per shard plus the WAL tail (truncating at the first torn
+// record), and every subsequent mutation is journaled before it is
+// acknowledged. Open fails on a shard-count mismatch with the WAL
+// directory's manifest (ErrWALConfig) or on corruption that
+// torn-tail truncation cannot explain (ErrWALCorrupt,
+// ErrSnapshotCorrupt). Recovery publishes no events.
+func Open(opts Options) (*Store, error) {
 	opts = opts.withDefaults()
 	s := &Store{
 		shards:     make([]*shard, opts.Shards),
@@ -252,7 +330,13 @@ func NewStoreWith(opts Options) *Store {
 		}
 		s.pathShards[i] = &pathShard{byPath: make(map[string]string)}
 	}
-	return s
+	if opts.WALDir != "" {
+		if err := s.openWAL(opts); err != nil {
+			s.bus.close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Shards returns the shard count (always a power of two).
@@ -331,7 +415,9 @@ func (s *Store) stage(evs ...Event) {
 }
 
 // Create registers a dataset. The basic map is copied and immutable
-// afterwards. The logical path must be unique.
+// afterwards. The logical path must be unique. On a durable store
+// Create returns only after the creation is journaled; a WAL failure
+// returns ErrWALFailed and the shard goes fail-stop.
 func (s *Store) Create(project, path string, size units.Bytes, checksum string, basic map[string]string) (Dataset, error) {
 	ps := s.pathShardFor(path)
 	ps.mu.Lock()
@@ -354,12 +440,17 @@ func (s *Store) Create(project, path string, size units.Bytes, checksum string, 
 		Version:   1,
 	}
 	sh := s.shardFor(id)
+	wi := fnv32a(id) & s.mask
 	sh.mu.Lock()
 	sh.insert(d)
 	snap := d.clone()
+	lsn, jerr := s.journal(wi, walRecord{Op: opCreate, Dataset: &snap, Seq: s.seq.Load()})
 	ev := Event{Type: EventCreated, Dataset: snap}
 	s.stage(ev)
 	sh.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		return Dataset{}, err
+	}
 	s.publish(ev)
 	return snap, nil
 }
@@ -423,9 +514,14 @@ func (s *Store) Tag(id, tag string) error {
 	}
 	sh.byTag[tag][id] = true
 	snap := d.clone()
+	wi := fnv32a(id) & s.mask
+	lsn, jerr := s.journal(wi, walRecord{Op: opTag, ID: id, Tag: tag})
 	ev := Event{Type: EventTagged, Dataset: snap, Tag: tag}
 	s.stage(ev)
 	sh.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		return err
+	}
 	s.publish(ev)
 	return nil
 }
@@ -453,9 +549,14 @@ func (s *Store) Untag(id, tag string) error {
 	d.Version++
 	delete(sh.byTag[tag], id)
 	snap := d.clone()
+	wi := fnv32a(id) & s.mask
+	lsn, jerr := s.journal(wi, walRecord{Op: opUntag, ID: id, Tag: tag})
 	ev := Event{Type: EventUntagged, Dataset: snap, Tag: tag}
 	s.stage(ev)
 	sh.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		return err
+	}
 	s.publish(ev)
 	return nil
 }
@@ -476,9 +577,15 @@ func (s *Store) AddProcessing(id string, p Processing) (string, error) {
 	d.Processings = append(d.Processings, p)
 	d.Version++
 	snap := d.clone()
+	wi := fnv32a(id) & s.mask
+	proc := p
+	lsn, jerr := s.journal(wi, walRecord{Op: opProc, ID: id, Proc: &proc})
 	ev := Event{Type: EventProcessingAdded, Dataset: snap}
 	s.stage(ev)
 	sh.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		return "", err
+	}
 	s.publish(ev)
 	return p.ID, nil
 }
@@ -498,6 +605,8 @@ func (s *Store) Delete(id string) error {
 		delete(sh.byTag[t], id)
 	}
 	snap := d.clone()
+	wi := fnv32a(id) & s.mask
+	lsn, jerr := s.journal(wi, walRecord{Op: opDelete, ID: id})
 	ev := Event{Type: EventDeleted, Dataset: snap}
 	s.stage(ev)
 	sh.mu.Unlock()
@@ -508,6 +617,9 @@ func (s *Store) Delete(id string) error {
 		delete(ps.byPath, d.Path)
 	}
 	ps.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		return err
+	}
 	s.publish(ev)
 	return nil
 }
@@ -519,7 +631,21 @@ func (s *Store) Delete(id string) error {
 // mutations. The event carries the registered dataset snapshot when
 // the path is known to the store, or a synthetic path-only snapshot
 // for unregistered objects (e.g. MapReduce intermediates).
+// NotePlacement also records the state in the store's placement
+// table (see Placement), which durable stores journal — after a
+// restart the tier's placements recover without re-scanning stubs.
+// Journaling failures cannot be returned on this void path; they
+// land on the WALErrors counter and the owning shard goes fail-stop.
 func (s *Store) NotePlacement(path, placement string) {
+	wi := fnv32a(path) & s.mask
+	ps := s.pathShards[wi]
+	ps.mu.Lock()
+	ps.setPlacement(path, placement)
+	lsn, jerr := s.journal(wi, walRecord{Op: opPlacement, Path: path, State: placement})
+	ps.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		s.walErrs.Add(1)
+	}
 	snap, ok := s.ByPath(path)
 	if !ok {
 		snap = Dataset{Path: path}
@@ -535,7 +661,20 @@ func (s *Store) NotePlacement(path, placement string) {
 // multi-site convergence without polling the catalog. Like
 // NotePlacement, the event carries the registered dataset snapshot
 // when the path is known, or a synthetic path-only snapshot.
+// NoteReplica also records the state in the store's replica table
+// (see Replicas), journaled on durable stores so the replica catalog
+// recovers without re-scanning site directories. Journaling failures
+// land on the WALErrors counter, like NotePlacement.
 func (s *Store) NoteReplica(path, site, state string) {
+	wi := fnv32a(path) & s.mask
+	ps := s.pathShards[wi]
+	ps.mu.Lock()
+	ps.setReplica(path, site, state)
+	lsn, jerr := s.journal(wi, walRecord{Op: opReplica, Path: path, Site: site, State: state})
+	ps.mu.Unlock()
+	if err := s.journalWait(wi, lsn, jerr); err != nil {
+		s.walErrs.Add(1)
+	}
 	snap, ok := s.ByPath(path)
 	if !ok {
 		snap = Dataset{Path: path}
@@ -570,9 +709,13 @@ func (s *Store) Flush() { s.bus.flush() }
 // subsystems. release is idempotent.
 func (s *Store) HoldFlush() (release func()) { return s.bus.hold() }
 
-// Close flushes and stops the event bus. The store remains readable
-// and writable, but no further events are delivered.
-func (s *Store) Close() { s.bus.close() }
+// Close flushes and stops the event bus, then commits anything still
+// pending in the WAL and releases the log files. The store remains
+// readable, but on a durable store mutations after Close will fail.
+func (s *Store) Close() {
+	s.bus.close()
+	s.closeWAL()
+}
 
 func cloneMap(m map[string]string) map[string]string {
 	if m == nil {
@@ -724,42 +867,61 @@ func matches(d *Dataset, q Query) bool {
 	return true
 }
 
-// Export writes the full repository as JSON (one stable document).
-// Export must not run concurrently with mutations if a
-// point-in-time-consistent dump is required.
+// Export writes the full repository as JSON (one stable document):
+// every dataset plus the placement and replica tables. The document
+// shape is the same one per-shard snapshots use (storeDump), so a
+// snapshot is literally a shard's Export plus a WAL position. Export
+// must not run concurrently with mutations if a point-in-time-
+// consistent dump is required.
 func (s *Store) Export(w io.Writer) error {
-	var all []Dataset
+	dump := storeDump{Seq: s.seq.Load()}
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		for _, d := range sh.datasets {
-			all = append(all, d.clone())
+			dump.Datasets = append(dump.Datasets, d.clone())
 		}
 		sh.mu.RUnlock()
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	dump := struct {
-		Seq      int       `json:"seq"`
-		Datasets []Dataset `json:"datasets"`
-	}{Seq: int(s.seq.Load()), Datasets: all}
+	sort.Slice(dump.Datasets, func(i, j int) bool { return dump.Datasets[i].ID < dump.Datasets[j].ID })
+	for _, ps := range s.pathShards {
+		ps.mu.RLock()
+		for p, st := range ps.placement {
+			if dump.Placements == nil {
+				dump.Placements = make(map[string]string)
+			}
+			dump.Placements[p] = st
+		}
+		for p, sites := range ps.replicas {
+			if dump.Replicas == nil {
+				dump.Replicas = make(map[string]map[string]string)
+			}
+			cp := make(map[string]string, len(sites))
+			for site, st := range sites {
+				cp[site] = st
+			}
+			dump.Replicas[p] = cp
+		}
+		ps.mu.RUnlock()
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(dump)
 }
 
 // Import loads a repository dump into an empty store. It publishes
-// no events and must not run concurrently with mutations.
+// no events and must not run concurrently with mutations. On a
+// durable store every imported dataset and note is journaled, so the
+// import survives a crash like any other mutation.
 func (s *Store) Import(r io.Reader) error {
-	var dump struct {
-		Seq      int       `json:"seq"`
-		Datasets []Dataset `json:"datasets"`
-	}
+	var dump storeDump
 	if err := json.NewDecoder(r).Decode(&dump); err != nil {
 		return fmt.Errorf("metadata: import: %w", err)
 	}
 	if s.Count() > 0 {
 		return errors.New("metadata: import into non-empty store")
 	}
-	s.seq.Store(int64(dump.Seq))
+	s.seq.Store(dump.Seq)
+	lsns := make([]uint64, len(s.shards))
 	for i := range dump.Datasets {
 		d := dump.Datasets[i]
 		cp := d.clone()
@@ -768,9 +930,54 @@ func (s *Store) Import(r io.Reader) error {
 		ps.byPath[d.Path] = d.ID
 		ps.mu.Unlock()
 		sh := s.shardFor(d.ID)
+		wi := fnv32a(d.ID) & s.mask
 		sh.mu.Lock()
 		sh.insert(&cp)
+		rec := cp.clone()
+		lsn, jerr := s.journal(wi, walRecord{Op: opCreate, Dataset: &rec, Seq: dump.Seq})
 		sh.mu.Unlock()
+		if jerr != nil {
+			return jerr
+		}
+		if lsn > lsns[wi] {
+			lsns[wi] = lsn
+		}
+	}
+	for p, st := range dump.Placements {
+		wi := fnv32a(p) & s.mask
+		ps := s.pathShards[wi]
+		ps.mu.Lock()
+		ps.setPlacement(p, st)
+		lsn, jerr := s.journal(wi, walRecord{Op: opPlacement, Path: p, State: st})
+		ps.mu.Unlock()
+		if jerr != nil {
+			return jerr
+		}
+		if lsn > lsns[wi] {
+			lsns[wi] = lsn
+		}
+	}
+	for p, sites := range dump.Replicas {
+		wi := fnv32a(p) & s.mask
+		ps := s.pathShards[wi]
+		ps.mu.Lock()
+		for site, st := range sites {
+			ps.setReplica(p, site, st)
+			lsn, jerr := s.journal(wi, walRecord{Op: opReplica, Path: p, Site: site, State: st})
+			if jerr != nil {
+				ps.mu.Unlock()
+				return jerr
+			}
+			if lsn > lsns[wi] {
+				lsns[wi] = lsn
+			}
+		}
+		ps.mu.Unlock()
+	}
+	for _, err := range s.journalWaitAll(lsns) {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

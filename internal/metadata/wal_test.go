@@ -1,0 +1,531 @@
+package metadata
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/metadata/durafs"
+	"repro/internal/units"
+)
+
+// openMem opens a durable store on the given MemFS (or a fresh one).
+func openMem(t *testing.T, fs durafs.FS, opts Options) *Store {
+	t.Helper()
+	opts.WALDir = "/wal"
+	opts.FS = fs
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// TestDurableBasicRecovery: every kind of mutation survives a clean
+// close-and-reopen through WAL replay alone (no snapshot).
+func TestDurableBasicRecovery(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{})
+	d1, err := s.Create("p", "/a/1", 4*units.MB, "crc1", map[string]string{"k": "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Create("p", "/a/2", 1*units.MB, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tag(d1.ID, "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tag(d1.ID, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Untag(d1.ID, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddProcessing(d1.ID, Processing{Tool: "seg", Results: map[string]string{"cells": "42"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(d2.ID); err != nil {
+		t.Fatal(err)
+	}
+	s.NotePlacement("/ddn/a/1", "migrated")
+	s.NoteReplica("/a/1", "gridka", "valid")
+	s.Close()
+
+	r := openMem(t, fs, Options{})
+	if r.Count() != 1 {
+		t.Fatalf("recovered %d datasets, want 1", r.Count())
+	}
+	got, ok := r.Get(d1.ID)
+	if !ok {
+		t.Fatalf("dataset %s not recovered", d1.ID)
+	}
+	if got.Path != "/a/1" || got.Basic["k"] != "v" || got.Checksum != "crc1" {
+		t.Fatalf("recovered dataset mangled: %+v", got)
+	}
+	if len(got.Tags) != 1 || got.Tags[0] != "raw" {
+		t.Fatalf("recovered tags = %v, want [raw]", got.Tags)
+	}
+	if len(got.Processings) != 1 || got.Processings[0].Results["cells"] != "42" {
+		t.Fatalf("recovered processings = %+v", got.Processings)
+	}
+	if _, ok := r.Get(d2.ID); ok {
+		t.Fatal("deleted dataset resurrected")
+	}
+	if _, ok := r.ByPath("/a/2"); ok {
+		t.Fatal("deleted dataset's path still claimed")
+	}
+	if pl, ok := r.Placement("/ddn/a/1"); !ok || pl != "migrated" {
+		t.Fatalf("placement = %q, %v", pl, ok)
+	}
+	if reps := r.Replicas("/a/1"); reps["gridka"] != "valid" {
+		t.Fatalf("replicas = %v", reps)
+	}
+	// Indexes rebuilt: tag query finds the dataset.
+	if hits := r.Find(Query{Tags: []string{"raw"}}); len(hits) != 1 || hits[0].ID != d1.ID {
+		t.Fatalf("tag index broken after recovery: %v", hits)
+	}
+	// The ID sequence resumes past recovered datasets.
+	d3, err := r.Create("p", "/a/3", 1, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.ID <= d1.ID {
+		t.Fatalf("sequence regressed: new %s <= old %s", d3.ID, d1.ID)
+	}
+	r.Close()
+}
+
+// TestDurableSnapshotCompaction: once SnapshotEvery records are
+// committed, recovery loads from snapshots and replays only the
+// tail; a Checkpoint empties the tail entirely.
+func TestDurableSnapshotCompaction(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 4, SnapshotEvery: 8})
+	const n = 100
+	for i := 0; i < n; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/c/%03d", i), 1, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Snapshots() == 0 {
+		t.Fatal("no snapshots written despite SnapshotEvery=8")
+	}
+	s.Close()
+
+	r := openMem(t, fs, Options{Shards: 4, SnapshotEvery: 8})
+	st := r.RecoveryStats()
+	if st.SnapshotsLoaded == 0 {
+		t.Fatalf("recovery used no snapshots: %+v", st)
+	}
+	if st.SnapshotDatasets+st.RecordsReplayed < n {
+		t.Fatalf("snapshot(%d) + replay(%d) < %d created", st.SnapshotDatasets, st.RecordsReplayed, n)
+	}
+	if r.Count() != n {
+		t.Fatalf("recovered %d, want %d", r.Count(), n)
+	}
+	if err := r.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+
+	r2 := openMem(t, fs, Options{Shards: 4, SnapshotEvery: 8})
+	st2 := r2.RecoveryStats()
+	if st2.RecordsReplayed != 0 {
+		t.Fatalf("after Checkpoint, %d records still replayed", st2.RecordsReplayed)
+	}
+	if r2.Count() != n {
+		t.Fatalf("post-checkpoint recovery %d, want %d", r2.Count(), n)
+	}
+	r2.Close()
+}
+
+// TestDurableBatchRecovery: CreateBatch + TagBatch survive reopen.
+func TestDurableBatchRecovery(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{})
+	specs := make([]CreateSpec, 64)
+	for i := range specs {
+		specs[i] = CreateSpec{Project: "p", Path: fmt.Sprintf("/b/%03d", i), Size: 1, Tags: []string{"raw"}}
+	}
+	var tagSpecs []TagSpec
+	for _, res := range s.CreateBatch(specs) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+		tagSpecs = append(tagSpecs, TagSpec{ID: res.Dataset.ID, Tag: "verified"})
+	}
+	if err := s.TagBatch(tagSpecs); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openMem(t, fs, Options{})
+	if r.Count() != 64 {
+		t.Fatalf("recovered %d, want 64", r.Count())
+	}
+	hits := r.Find(Query{Tags: []string{"raw", "verified"}})
+	if len(hits) != 64 {
+		t.Fatalf("tagged recovery: %d hits, want 64", len(hits))
+	}
+	r.Close()
+}
+
+// TestDurableFailStop: a failed fsync fails the mutation with
+// ErrWALFailed and the shard refuses further mutations instead of
+// silently acknowledging undurable writes.
+func TestDurableFailStop(t *testing.T) {
+	ff := durafs.NewFault(durafs.NewMem(), nil)
+	s := openMem(t, ff, Options{Shards: 1})
+	if _, err := s.Create("p", "/ok", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	ff.FailSyncs(1)
+	_, err := s.Create("p", "/bad", 1, "", nil)
+	if !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("create with failed sync: err = %v, want ErrWALFailed", err)
+	}
+	if _, err := s.Create("p", "/after", 1, "", nil); !errors.Is(err, ErrWALFailed) {
+		t.Fatalf("shard not fail-stop after sync failure: err = %v", err)
+	}
+	// Power loss after the failed fsync: the record the disk refused
+	// to sync is still sitting in the page cache, so it dies with the
+	// machine. Recovery from what actually hit the platter is clean —
+	// the acknowledged dataset is there, the failed one is not.
+	ff.Inner().Crash(nil)
+	r := openMem(t, ff.Inner(), Options{Shards: 1})
+	if _, ok := r.ByPath("/ok"); !ok {
+		t.Fatal("acknowledged dataset lost")
+	}
+	if _, ok := r.ByPath("/bad"); ok {
+		t.Fatal("unacknowledged dataset recovered despite failed sync")
+	}
+	r.Close()
+}
+
+// TestDurableTornTailTruncated: garbage appended to a WAL (a torn
+// final record) is truncated on open; everything before it recovers.
+func TestDurableTornTailTruncated(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 1})
+	for i := 0; i < 10; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/t/%d", i), 1, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	f, err := fs.OpenAppend("/wal/shard-000.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0xde, 0xad, 0xbe}) // half a header
+	f.Sync()
+	f.Close()
+
+	r := openMem(t, fs, Options{Shards: 1})
+	if r.Count() != 10 {
+		t.Fatalf("recovered %d, want 10", r.Count())
+	}
+	st := r.RecoveryStats()
+	if st.TornTails != 1 || st.TornTailBytes != 3 {
+		t.Fatalf("torn-tail stats = %+v", st)
+	}
+	// Appends continue cleanly on the truncated log.
+	if _, err := r.Create("p", "/t/new", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	r2 := openMem(t, fs, Options{Shards: 1})
+	if r2.Count() != 11 {
+		t.Fatalf("post-truncate append lost: %d", r2.Count())
+	}
+	r2.Close()
+}
+
+// TestDurableManifestMismatch: reopening a WAL directory with a
+// different shard count is refused with the typed config error.
+func TestDurableManifestMismatch(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 4})
+	if _, err := s.Create("p", "/m/1", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, err := Open(Options{Shards: 8, WALDir: "/wal", FS: fs})
+	if !errors.Is(err, ErrWALConfig) {
+		t.Fatalf("err = %v, want ErrWALConfig", err)
+	}
+}
+
+// TestDurableGroupCommit: concurrent writers share fsyncs — with a
+// commit window configured, the sync count stays far below the
+// mutation count.
+func TestDurableGroupCommit(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 1, GroupCommitInterval: 2 * time.Millisecond})
+	const writers, each = 8, 25
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if _, err := s.Create("p", fmt.Sprintf("/g/%d/%d", w, i), 1, "", nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	r := openMem(t, fs, Options{Shards: 1})
+	if r.Count() != writers*each {
+		t.Fatalf("recovered %d, want %d", r.Count(), writers*each)
+	}
+	r.Close()
+}
+
+// TestDurableExportImportEquivalence: Export of a recovered store is
+// byte-identical to the pre-crash Export, and Importing an Export
+// into a fresh durable store journals it (surviving its own reopen).
+func TestDurableExportImportEquivalence(t *testing.T) {
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	tick := 0
+	clock := func() time.Time { tick++; return base.Add(time.Duration(tick) * time.Second) }
+
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Clock: clock})
+	for i := 0; i < 40; i++ {
+		d, err := s.Create("p", fmt.Sprintf("/e/%03d", i), units.Bytes(i), "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := s.Tag(d.ID, "every3"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s.NotePlacement("/ddn/e/000", "migrated")
+	s.NoteReplica("/e/001", "desy", "valid")
+	var before bytes.Buffer
+	if err := s.Export(&before); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	r := openMem(t, fs, Options{})
+	var after bytes.Buffer
+	if err := r.Export(&after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatalf("Export changed across recovery:\nbefore: %s\nafter:  %s", before.String(), after.String())
+	}
+	r.Close()
+
+	// Import into a fresh durable store, reopen, Export again.
+	fs2 := durafs.NewMem()
+	s2 := openMem(t, fs2, Options{})
+	if err := s2.Import(bytes.NewReader(before.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	r2 := openMem(t, fs2, Options{})
+	var roundTrip bytes.Buffer
+	if err := r2.Export(&roundTrip); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), roundTrip.Bytes()) {
+		t.Fatal("Import -> reopen -> Export is not the identity")
+	}
+	r2.Close()
+}
+
+// TestDurableOSFilesystem runs the basic recovery loop against the
+// real filesystem (t.TempDir) — the production durafs.OS path.
+func TestDurableOSFilesystem(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Options{WALDir: dir, SnapshotEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/os/%03d", i), 1, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.NotePlacement("/ddn/os/000", "premigrated")
+	s.Close()
+
+	r, err := Open(Options{WALDir: dir, SnapshotEvery: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 50 {
+		t.Fatalf("recovered %d, want 50", r.Count())
+	}
+	if pl, ok := r.Placement("/ddn/os/000"); !ok || pl != "premigrated" {
+		t.Fatalf("placement = %q, %v", pl, ok)
+	}
+	r.Close()
+}
+
+// TestWALRecordRoundTrip pins the frame format: encode then stream-
+// decode returns the same records and consumes every byte.
+func TestWALRecordRoundTrip(t *testing.T) {
+	recs := []walRecord{
+		{LSN: 1, Op: opCreate, Seq: 7, Dataset: &Dataset{ID: "ds-000007", Path: "/x", Project: "p", Version: 1}},
+		{LSN: 2, Op: opTag, ID: "ds-000007", Tag: "raw"},
+		{LSN: 3, Op: opPlacement, Path: "/x", State: "migrated"},
+		{LSN: 4, Op: opReplica, Path: "/x", Site: "kit", State: "valid"},
+	}
+	var buf []byte
+	for _, rec := range recs {
+		frame, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, frame...)
+	}
+	got, valid, err := decodeWALStream(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if valid != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", valid, len(buf))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].LSN != recs[i].LSN || got[i].Op != recs[i].Op || got[i].Tag != recs[i].Tag ||
+			got[i].Path != recs[i].Path || got[i].Site != recs[i].Site || got[i].State != recs[i].State {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+// TestWALDecodePrefixPlusGarbage: a valid stream followed by garbage
+// recovers exactly the valid prefix, for several garbage shapes.
+func TestWALDecodePrefixPlusGarbage(t *testing.T) {
+	var buf []byte
+	var want []walRecord
+	for i := 0; i < 5; i++ {
+		rec := walRecord{LSN: uint64(i + 1), Op: opTag, ID: fmt.Sprintf("ds-%06d", i), Tag: "t"}
+		want = append(want, rec)
+		frame, _ := encodeRecord(rec)
+		buf = append(buf, frame...)
+	}
+	garbages := [][]byte{
+		{0x01},                               // short header
+		{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}, // absurd length field
+		bytes.Repeat([]byte{0xaa}, 100),      // noise
+		func() []byte { // correct length, bad CRC
+			frame, _ := encodeRecord(walRecord{LSN: 99, Op: opTag})
+			frame[4] ^= 0xff
+			return frame
+		}(),
+		func() []byte { // valid frame with one byte chopped off
+			frame, _ := encodeRecord(walRecord{LSN: 99, Op: opTag})
+			return frame[:len(frame)-1]
+		}(),
+	}
+	for gi, g := range garbages {
+		recs, valid, err := decodeWALStream(append(append([]byte(nil), buf...), g...))
+		if err != nil {
+			t.Fatalf("garbage %d: err = %v", gi, err)
+		}
+		if valid != len(buf) {
+			t.Fatalf("garbage %d: truncation offset %d, want %d", gi, valid, len(buf))
+		}
+		if len(recs) != len(want) {
+			t.Fatalf("garbage %d: recovered %d records, want %d", gi, len(recs), len(want))
+		}
+		for i := range want {
+			if recs[i].LSN != want[i].LSN {
+				t.Fatalf("garbage %d: record %d LSN %d != %d", gi, i, recs[i].LSN, want[i].LSN)
+			}
+		}
+	}
+}
+
+// TestWALCorruptPayloadTyped: a frame whose checksum passes but whose
+// payload is not a record yields ErrWALCorrupt (not silence, not a
+// panic) — and Open surfaces it.
+func TestWALCorruptPayloadTyped(t *testing.T) {
+	junk := appendFrame(nil, []byte("this is not json"))
+	_, _, err := decodeWALStream(junk)
+	if !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("err = %v, want ErrWALCorrupt", err)
+	}
+
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 1})
+	if _, err := s.Create("p", "/x", 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	f, _ := fs.OpenAppend("/wal/shard-000.wal")
+	f.Write(junk)
+	f.Sync()
+	f.Close()
+	if _, err := Open(Options{Shards: 1, WALDir: "/wal", FS: fs}); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("Open on corrupt payload: err = %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestDurableNoWALIsNoop: a store without WALDir has a nil
+// durability plane and zero recovery stats — the in-memory hot path
+// is untouched.
+func TestDurableNoWALIsNoop(t *testing.T) {
+	s := NewStore()
+	if s.Durable() {
+		t.Fatal("plain store claims durability")
+	}
+	if st := s.RecoveryStats(); st != (RecoveryStats{}) {
+		t.Fatalf("plain store has recovery stats: %+v", st)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint on plain store: %v", err)
+	}
+	s.Close()
+}
+
+// TestDurableCorruptSnapshotTyped: a snapshot whose frame fails its
+// checksum refuses recovery with ErrSnapshotCorrupt.
+func TestDurableCorruptSnapshotTyped(t *testing.T) {
+	fs := durafs.NewMem()
+	s := openMem(t, fs, Options{Shards: 1, SnapshotEvery: 4})
+	for i := 0; i < 12; i++ {
+		if _, err := s.Create("p", fmt.Sprintf("/s/%d", i), 1, "", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	f, err := fs.Open("/wal/shard-000.snap")
+	if err != nil {
+		t.Fatalf("no snapshot written: %v", err)
+	}
+	data, _ := io.ReadAll(f)
+	f.Close()
+	data[len(data)-1] ^= 0xff
+	w, _ := fs.Create("/wal/shard-000.snap")
+	w.Write(data)
+	w.Sync()
+	w.Close()
+
+	if _, err := Open(Options{Shards: 1, WALDir: "/wal", FS: fs}); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("err = %v, want ErrSnapshotCorrupt", err)
+	}
+}
