@@ -119,6 +119,19 @@ func BenchmarkE13TieredDataPath(b *testing.B) {
 	run(b, experiments.E13TieredDataPath)
 }
 
+// BenchmarkE16HotSetReadCache regenerates the hot-set read cache
+// study: zipf reads from a replica-less site, direct vs cached, with
+// a mid-run remote-site outage. Reports the WAN byte reduction.
+func BenchmarkE16HotSetReadCache(b *testing.B) {
+	tbl := run(b, experiments.E16HotSetReadCache)
+	for _, row := range tbl.Rows {
+		if row[0] == "WAN reduction" {
+			red, _ := strconv.ParseFloat(strings.TrimSuffix(row[1], "x"), 64)
+			b.ReportMetric(red, "WAN-reduction-x")
+		}
+	}
+}
+
 // BenchmarkTransferArithmetic isolates the fluid-model core of E5 so
 // regressions in the max-min solver are visible without the full
 // experiment harness.

@@ -30,18 +30,22 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/readcache"
 	"repro/internal/replication"
 	"repro/internal/tiering"
+	"repro/internal/units"
 )
 
 func main() {
 	state := flag.String("state", "", "state directory (created if missing)")
+	cacheMem := flag.Int("cache-mem-mib", 64, "read cache memory tier budget in MiB (0 disables the cache)")
+	cacheDisk := flag.Int("cache-disk-mib", 256, "read cache disk tier budget in MiB (persisted under STATE/cache)")
 	flag.Parse()
 	if *state == "" || flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
 	}
-	if err := run(*state, flag.Args()); err != nil {
+	if err := run(*state, *cacheMem, *cacheDisk, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "lsdfctl:", err)
 		os.Exit(1)
 	}
@@ -66,14 +70,18 @@ commands:
   replica status              show the replica catalog (per-object site states)
   replica add PATH SITE       copy an object to a mirror site (created on demand)
   replica drop PATH SITE      remove an object's replica from a site
-  replica verify PATH         re-checksum every replica against the main copy`)
+  replica verify PATH         re-checksum every replica against the main copy
+  cache status                show read-cache counters and cached objects
+  cache evict PATH            drop an object from every cache tier
+  cache warm PREFIX           pre-fill the cache with the objects under PREFIX`)
 }
 
 type ctl struct {
 	layer *adal.Layer
 	meta  *metadata.Store
 	tier  *tiering.TierBackend
-	path  string // metadata dump location
+	cache *readcache.Cache // nil when -cache-mem-mib and -cache-disk-mib are both 0
+	path  string           // metadata dump location
 	state string
 	// Replica mirrors: each site is a LocalFS under sites/<name>,
 	// mounted at /site/<name>; the catalog is rebuilt from the site
@@ -83,8 +91,8 @@ type ctl struct {
 	sites  map[string]*adal.LocalFS
 }
 
-func open(state string) (*ctl, error) {
-	for _, dir := range []string{"objects", "cold"} {
+func open(state string, cacheMemMiB, cacheDiskMiB int) (*ctl, error) {
+	for _, dir := range []string{"objects", "cold", "cache"} {
 		if err := os.MkdirAll(filepath.Join(state, dir), 0o755); err != nil {
 			return nil, err
 		}
@@ -103,8 +111,28 @@ func open(state string) (*ctl, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Read cache in front of the tier: hits skip the tier entirely
+	// (no recall, no cold read). The disk tier lives under cache/, so
+	// objects warmed in one invocation are still cached in the next.
+	var root adal.Backend = tier
+	var cache *readcache.Cache
+	if cacheMemMiB > 0 || cacheDiskMiB > 0 {
+		var cacheDisk adal.Backend
+		if cacheDiskMiB > 0 {
+			cacheDisk, err = adal.NewLocalFS("readcache", filepath.Join(state, "cache"))
+			if err != nil {
+				return nil, err
+			}
+		}
+		cache = readcache.New(tier, readcache.Config{
+			Memory:     units.Bytes(cacheMemMiB) * units.MiB,
+			Disk:       cacheDisk,
+			DiskBudget: units.Bytes(cacheDiskMiB) * units.MiB,
+		})
+		root = cache
+	}
 	layer := adal.NewLayer()
-	if err := layer.Mount("/", tier); err != nil {
+	if err := layer.Mount("/", root); err != nil {
 		return nil, err
 	}
 	meta := metadata.NewStore()
@@ -116,7 +144,7 @@ func open(state string) (*ctl, error) {
 		}
 	}
 	c := &ctl{
-		layer: layer, meta: meta, tier: tier, path: dump, state: state,
+		layer: layer, meta: meta, tier: tier, cache: cache, path: dump, state: state,
 		repCat: replication.NewCatalog(replication.CatalogConfig{}),
 		sites:  make(map[string]*adal.LocalFS),
 	}
@@ -189,18 +217,23 @@ func (c *ctl) save() error {
 	return os.Rename(tmp, c.path)
 }
 
-func run(state string, args []string) error {
-	c, err := open(state)
+func run(state string, cacheMemMiB, cacheDiskMiB int, args []string) error {
+	c, err := open(state, cacheMemMiB, cacheDiskMiB)
 	if err != nil {
 		return err
 	}
 	defer c.tier.Close()
+	if c.cache != nil {
+		defer c.cache.Close()
+	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "tier":
 		return c.tierCmd(rest)
 	case "replica":
 		return c.replicaCmd(rest)
+	case "cache":
+		return c.cacheCmd(rest)
 	case "ingest":
 		return c.ingest(rest)
 	case "ls":
@@ -409,6 +442,53 @@ func (c *ctl) replicaCmd(args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("replica: unknown subcommand %q", sub)
+	}
+}
+
+func (c *ctl) cacheCmd(args []string) error {
+	if c.cache == nil {
+		return fmt.Errorf("read cache disabled (-cache-mem-mib 0 -cache-disk-mib 0)")
+	}
+	if len(args) == 0 || args[0] == "status" {
+		st := c.cache.Stats()
+		fmt.Printf("memory: %s in %d objects, disk: %s in %d objects\n",
+			st.MemUsed.SI(), st.MemObjects, st.DiskUsed.SI(), st.DiskObjects)
+		fmt.Printf("hits: %d memory + %d disk, misses: %d, bypasses: %d (hit rate %.1f%%)\n",
+			st.MemHits, st.DiskHits, st.Misses, st.Bypasses, 100*st.HitRate())
+		fmt.Printf("fills: %d (%s), dedups: %d, evictions: %d, invalidations: %d, fill errors: %d\n",
+			st.Fills, units.Bytes(st.FillBytes).SI(), st.Dedups, st.Evictions, st.Invalidations, st.FillErrors)
+		for _, e := range c.cache.Entries() {
+			mark := ""
+			if e.Hot {
+				mark = " [hot]"
+			}
+			if !e.Verified {
+				mark += " [unverified]"
+			}
+			fmt.Printf("%-8s  %-10s  %s%s\n", e.Tier, e.Size.SI(), e.Path, mark)
+		}
+		return nil
+	}
+	if len(args) != 2 {
+		return fmt.Errorf("cache: need SUBCOMMAND PATH (or no args for status)")
+	}
+	sub, path := args[0], args[1]
+	switch sub {
+	case "evict":
+		if !c.cache.Evict(path) {
+			return fmt.Errorf("%s is not cached", path)
+		}
+		fmt.Printf("evicted %s from the read cache\n", path)
+		return nil
+	case "warm":
+		n, err := c.cache.Warm(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("warmed %d objects under %s\n", n, path)
+		return nil
+	default:
+		return fmt.Errorf("cache: unknown subcommand %q", sub)
 	}
 }
 

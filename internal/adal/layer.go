@@ -184,6 +184,16 @@ func pooledCopy(dst io.Writer, src io.Reader) (int64, error) {
 	return n, err
 }
 
+// PooledCopy is io.Copy through the shared transfer-buffer pool: when
+// neither end short-circuits the buffer (src is a WriterTo or dst a
+// ReaderFrom), the 256 KiB staging buffer is recycled instead of
+// allocated per copy. Read-path consumers (federated reads, cache
+// fills, verify hashes) use it so sustained read traffic stops
+// churning the allocator.
+func PooledCopy(dst io.Writer, src io.Reader) (int64, error) {
+	return pooledCopy(dst, src)
+}
+
 // WriteChecksummed streams r into path, returning the byte count and
 // hex SHA-256 — the ingest pipeline's canonical write primitive.
 func (l *Layer) WriteChecksummed(path string, r io.Reader) (units.Bytes, string, error) {

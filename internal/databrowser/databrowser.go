@@ -45,6 +45,10 @@ type Entry struct {
 	// federation; zero/empty for unfederated mounts.
 	Replicas     int      `json:"replicas,omitempty"`
 	ReplicaSites []string `json:"replica_sites,omitempty"`
+	// Cached is the read-cache tier holding the object ("memory" or
+	// "disk") when the path is served through a read cache; empty
+	// when uncached or uncacheable.
+	Cached string `json:"cached,omitempty"`
 }
 
 // placementReporter is implemented by tiering backends; the browser
@@ -58,6 +62,13 @@ type placementReporter interface {
 // discovered structurally for the same decoupling reason.
 type replicaReporter interface {
 	ReplicaSites(rel string) ([]string, bool)
+}
+
+// cacheReporter is implemented by read-cache backends: the tier
+// currently holding the object, and the cache's counter snapshot.
+type cacheReporter interface {
+	CacheTier(rel string) (string, bool)
+	CacheCounters() map[string]uint64
 }
 
 // annotate resolves the path once and fills in whatever its backend
@@ -78,6 +89,25 @@ func (b *Browser) annotate(e *Entry, path string) {
 			e.Replicas = len(sites)
 		}
 	}
+	if cr, ok := be.(cacheReporter); ok {
+		if tier, ok := cr.CacheTier(rel); ok {
+			e.Cached = tier
+		}
+	}
+}
+
+// CacheStats reports the read-cache counters of the mount serving
+// prefix, or ok=false when that mount has no cache.
+func (b *Browser) CacheStats(prefix string) (map[string]uint64, bool) {
+	be, _, err := b.layer.Resolve(prefix)
+	if err != nil {
+		return nil, false
+	}
+	cr, ok := be.(cacheReporter)
+	if !ok {
+		return nil, false
+	}
+	return cr.CacheCounters(), true
 }
 
 // Browser joins the ADAL layer with the metadata repository.
@@ -185,6 +215,7 @@ func (b *Browser) Find(q metadata.Query) []metadata.Dataset {
 //	GET  /stat?path=/ddn/x          -> Entry
 //	GET  /dataset?path=/ddn/x       -> metadata.Dataset
 //	GET  /find?project=p&tag=t      -> []metadata.Dataset
+//	GET  /cache?prefix=/sites       -> read-cache counters
 //	POST /tag?path=/ddn/x&tag=hot   -> 204
 //	POST /untag?path=/ddn/x&tag=hot -> 204
 func (b *Browser) Handler() http.Handler {
@@ -238,6 +269,14 @@ func (b *Browser) Handler() http.Handler {
 			q.Tags = strings.Split(tag, ",")
 		}
 		writeJSON(w, b.Find(q))
+	})
+	mux.HandleFunc("GET /cache", func(w http.ResponseWriter, r *http.Request) {
+		stats, ok := b.CacheStats(r.URL.Query().Get("prefix"))
+		if !ok {
+			http.Error(w, "no read cache on that mount", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, stats)
 	})
 	mux.HandleFunc("POST /tag", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Tag(r.URL.Query().Get("path"), r.URL.Query().Get("tag")); err != nil {

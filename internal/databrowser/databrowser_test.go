@@ -12,7 +12,9 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/readcache"
 	"repro/internal/tiering"
+	"repro/internal/units"
 	"repro/internal/workflow"
 )
 
@@ -290,5 +292,70 @@ func TestPlacementColumn(t *testing.T) {
 	}
 	if row.Placement != "migrated" {
 		t.Fatalf("web stat placement = %q", row.Placement)
+	}
+}
+
+func TestCachedColumnAndStats(t *testing.T) {
+	layer := adal.NewLayer()
+	meta := metadata.NewStore()
+	cache := readcache.New(adal.NewMemFS("inner"), readcache.Config{Memory: units.MiB})
+	defer cache.Close()
+	if err := layer.Mount("/sites", cache); err != nil {
+		t.Fatal(err)
+	}
+	b := New(layer, meta)
+
+	put(t, layer, meta, "/sites/exp/a.raw", "cached content", true)
+	put(t, layer, meta, "/sites/exp/b.raw", "never read", true)
+	// Read a.raw through the layer so the cache fills.
+	r, err := layer.Open("/sites/exp/a.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r)
+	r.Close()
+
+	e, err := b.Stat("/sites/exp/a.raw")
+	if err != nil || e.Cached != "memory" {
+		t.Fatalf("stat = %+v, %v; want Cached=memory", e, err)
+	}
+	e, err = b.Stat("/sites/exp/b.raw")
+	if err != nil || e.Cached != "" {
+		t.Fatalf("unread stat = %+v, %v; want empty Cached", e, err)
+	}
+
+	stats, ok := b.CacheStats("/sites/exp")
+	if !ok || stats["fills"] != 1 {
+		t.Fatalf("cache stats = %v/%v, want fills=1", stats, ok)
+	}
+	if _, ok := b.CacheStats("/nowhere"); ok {
+		t.Fatal("CacheStats resolved a missing mount")
+	}
+
+	// The JSON web API carries both surfaces.
+	srv := httptest.NewServer(b.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/stat?path=/sites/exp/a.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var row Entry
+	err = json.NewDecoder(resp.Body).Decode(&row)
+	resp.Body.Close()
+	if err != nil || row.Cached != "memory" {
+		t.Fatalf("web stat cached = %q, %v", row.Cached, err)
+	}
+	resp, err = http.Get(srv.URL + "/cache?prefix=/sites")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counters map[string]uint64
+	err = json.NewDecoder(resp.Body).Decode(&counters)
+	resp.Body.Close()
+	if err != nil || counters["mem_objects"] != 1 {
+		t.Fatalf("web cache counters = %v, %v", counters, err)
+	}
+	if resp, _ := http.Get(srv.URL + "/cache?prefix=/none"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing-mount cache status = %d", resp.StatusCode)
 	}
 }

@@ -165,6 +165,50 @@ func TestE14ZeroFailedReadsAndConvergence(t *testing.T) {
 	}
 }
 
+// TestE16WANCollapseNoStaleReads pins the read-cache acceptance bar:
+// >= 10x WAN byte reduction on the zipf stream, steady-state p99
+// within 2x of a local direct read, and zero failed or stale reads
+// across the mid-run site kill/revive in both phases.
+func TestE16WANCollapseNoStaleReads(t *testing.T) {
+	tbl, err := E16HotSetReadCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(name string) string {
+		t.Helper()
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r[1]
+			}
+		}
+		t.Fatalf("row %q missing: %v", name, tbl.Rows)
+		return ""
+	}
+	reduction, err := strconv.ParseFloat(strings.TrimSuffix(row("WAN reduction"), "x"), 64)
+	if err != nil || reduction < 10 {
+		t.Errorf("WAN reduction = %s, want >= 10x", row("WAN reduction"))
+	}
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(row("steady-state p99 vs local"), "x"), 64)
+	if err != nil || ratio > 2 {
+		t.Errorf("steady-state p99 vs local = %s, want <= 2x", row("steady-state p99 vs local"))
+	}
+	if got := row("failed reads (direct/cached)"); got != "0 / 0" {
+		t.Errorf("failed reads = %s, want 0 / 0", got)
+	}
+	if got := row("content mismatches (direct/cached)"); got != "0 / 0" {
+		t.Errorf("stale reads served: %s", got)
+	}
+	if dedups, _ := strconv.Atoi(row("singleflight dedups (16-way cold burst)")); dedups == 0 {
+		t.Error("cold burst produced no singleflight dedups")
+	}
+	if got := row("remove leaves nothing servable"); got != "true" {
+		t.Errorf("remove invalidation incomplete: %s", got)
+	}
+	if got := row("reads during site outage (direct/cached)"); got != "600 / 600" {
+		t.Errorf("outage window = %s, want 600 / 600", got)
+	}
+}
+
 // TestE15ZeroLostAcked runs the real kill -9 experiment and pins the
 // crash-consistency contract: the child is SIGKILLed during
 // sustained batched ingest, and recovery must surface every

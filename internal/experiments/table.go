@@ -85,5 +85,6 @@ func All() []Runner {
 		{"E13", "tiered-data-path", E13TieredDataPath},
 		{"E14", "multi-site-replication", E14MultiSiteReplication},
 		{"E15", "durable-metadata", E15DurableMetadata},
+		{"E16", "hot-set-read-cache", E16HotSetReadCache},
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
 	"repro/internal/objectstore"
+	"repro/internal/readcache"
 	"repro/internal/replication"
 	"repro/internal/rules"
 	"repro/internal/tape"
@@ -122,6 +123,21 @@ type Options struct {
 	// ReplicaWAN, when set, paces inter-site transfers by per-pair
 	// bandwidth/latency (degraded-link experiments); nil = LAN speed.
 	ReplicaWAN *replication.WAN
+
+	// ReadCacheMemory enables the hot-set read cache in front of the
+	// /sites federation when > 0: a byte-budgeted in-memory tier with
+	// segmented eviction, singleflight checksum-verified fills, and
+	// invalidation from the replica events on the bus. Requires Sites.
+	ReadCacheMemory units.Bytes
+	// ReadCacheDisk adds the cache's local-disk tier when > 0, backed
+	// by ReadCacheDir (a LocalFS directory that must exist) or, when
+	// ReadCacheDir is empty, an in-memory stand-in — useful in tests
+	// and scenarios that want two-tier behavior without touching disk.
+	ReadCacheDisk units.Bytes
+	// ReadCacheDir is the disk tier's directory; entries found there
+	// at startup are re-admitted (a restarted facility keeps its
+	// warmed set).
+	ReadCacheDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -175,6 +191,10 @@ type Facility struct {
 	Replicator     *replication.Engine
 	Federation     *replication.FederatedBackend
 	FedSites       []*replication.Site
+
+	// ReadCache fronts the federation at /sites; nil unless
+	// Options.ReadCacheMemory or ReadCacheDisk was set.
+	ReadCache *readcache.Cache
 
 	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
@@ -276,6 +296,32 @@ func New(opts Options) (*Facility, error) {
 		fedBackend = replication.NewFederated("sites", repEngine)
 	}
 
+	// The read cache wraps the federation: the /sites mount resolves
+	// through it, so every federated read is hot-set cached.
+	var sitesMount adal.Backend = fedBackend
+	var cache *readcache.Cache
+	if fedBackend != nil && (opts.ReadCacheMemory > 0 || opts.ReadCacheDisk > 0) {
+		var diskTier adal.Backend
+		if opts.ReadCacheDisk > 0 {
+			if opts.ReadCacheDir != "" {
+				diskTier, err = adal.NewLocalFS("readcache", opts.ReadCacheDir)
+				if err != nil {
+					return nil, fmt.Errorf("facility: read cache dir: %w", err)
+				}
+			} else {
+				diskTier = adal.NewMemFS("readcache")
+			}
+		}
+		cache = readcache.New(fedBackend, readcache.Config{
+			Memory:      opts.ReadCacheMemory,
+			Disk:        diskTier,
+			DiskBudget:  opts.ReadCacheDisk,
+			Meta:        meta,
+			MountPrefix: "/sites",
+		})
+		sitesMount = cache
+	}
+
 	mounts := map[string]adal.Backend{
 		"/ddn":     ddnMount,
 		"/ibm":     ibm,
@@ -287,7 +333,7 @@ func New(opts Options) (*Facility, error) {
 		mounts["/tape"] = tapeFS
 	}
 	if fedBackend != nil {
-		mounts["/sites"] = fedBackend
+		mounts["/sites"] = sitesMount
 	}
 	for prefix, b := range mounts {
 		if err := layer.Mount(prefix, b); err != nil {
@@ -310,6 +356,7 @@ func New(opts Options) (*Facility, error) {
 		Replicator:     repEngine,
 		Federation:     fedBackend,
 		FedSites:       fedSites,
+		ReadCache:      cache,
 		shuffleMemory:  opts.ShuffleMemory,
 	}
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
@@ -323,6 +370,9 @@ func New(opts Options) (*Facility, error) {
 // that order, so every event published before Close still reaches
 // its triggers.
 func (f *Facility) Close() {
+	if f.ReadCache != nil {
+		f.ReadCache.Close()
+	}
 	if f.Tier != nil {
 		f.Tier.Close()
 	}

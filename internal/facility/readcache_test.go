@@ -1,0 +1,116 @@
+package facility
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/units"
+)
+
+// TestFacilityReadCache: with ReadCacheMemory set, the /sites mount
+// resolves through the read cache — repeated reads are served from
+// the hot set, and a Remove through the layer evicts.
+func TestFacilityReadCache(t *testing.T) {
+	f, err := New(Options{
+		Sites:           []string{"kit", "gridka", "desy"},
+		ReadCacheMemory: 4 * units.MiB,
+		ReadCacheDisk:   16 * units.MiB,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.ReadCache == nil {
+		t.Fatal("ReadCache not assembled")
+	}
+
+	data := bytes.Repeat([]byte("cacheable "), 4096)
+	if _, _, err := f.Layer.WriteChecksummed("/sites/exp/run1", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	f.Replicator.Wait()
+
+	read := func() []byte {
+		r, err := f.Layer.Open("/sites/exp/run1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if got := read(); !bytes.Equal(got, data) {
+		t.Fatal("first read mismatch")
+	}
+	if got := read(); !bytes.Equal(got, data) {
+		t.Fatal("second read mismatch")
+	}
+	st := f.ReadCache.Stats()
+	if st.Fills != 1 || st.MemHits != 1 {
+		t.Fatalf("stats = %+v, want 1 fill and 1 mem hit", st)
+	}
+	if tier, ok := f.ReadCache.CacheTier("/exp/run1"); !ok || tier != "memory" {
+		t.Fatalf("tier = %q/%v, want memory", tier, ok)
+	}
+
+	// Removing through the layer reaches the cache's Remove and the
+	// bus events; the entry must be gone on both counts.
+	if err := f.Layer.Remove("/sites/exp/run1"); err != nil {
+		t.Fatal(err)
+	}
+	f.Meta.Flush()
+	if _, ok := f.ReadCache.CacheTier("/exp/run1"); ok {
+		t.Fatal("entry still cached after Remove")
+	}
+	if _, err := f.Layer.Open("/sites/exp/run1"); err == nil {
+		t.Fatal("open succeeded after Remove")
+	}
+}
+
+// TestFacilityReadCacheDiskDir: a facility restarted on the same
+// ReadCacheDir re-admits the disk tier's objects.
+func TestFacilityReadCacheDiskDir(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{
+		Sites:         []string{"kit", "gridka"},
+		ReadCacheDisk: 16 * units.MiB,
+		ReadCacheDir:  dir,
+	}
+	f, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("warm "), 2048)
+	if _, _, err := f.Layer.WriteChecksummed("/sites/exp/warm", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	f.Replicator.Wait()
+	r, err := f.Layer.Open("/sites/exp/warm") // fill the disk tier
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r)
+	r.Close()
+	if _, ok := f.ReadCache.CacheTier("/exp/warm"); !ok {
+		t.Fatal("object not on the disk tier after read")
+	}
+	f.Close()
+
+	// A fresh facility on the same directory recovers the entry.
+	f2, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if tier, ok := f2.ReadCache.CacheTier("/exp/warm"); !ok || tier != "disk" {
+		t.Fatalf("recovered tier = %q/%v, want disk", tier, ok)
+	}
+	if _, err := adal.NewLocalFS("probe", dir); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package readcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/adal"
+	"repro/internal/units"
+)
+
+func benchCache(b *testing.B, cfg Config) (*Cache, *countingBackend) {
+	b.Helper()
+	inner := &countingBackend{Backend: adal.NewMemFS("inner")}
+	c := New(inner, cfg)
+	b.Cleanup(c.Close)
+	return c, inner
+}
+
+func benchRead(b *testing.B, c *Cache, path string) {
+	r, err := c.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := io.Copy(io.Discard, r); err != nil {
+		b.Fatal(err)
+	}
+	r.Close()
+}
+
+// BenchmarkCachedRead is the steady-state hit path: one hot object
+// served from the memory tier.
+func BenchmarkCachedRead(b *testing.B) {
+	const objSize = 256 * units.KiB
+	c, inner := benchCache(b, Config{Memory: 4 * units.MiB})
+	path := "/b/hot"
+	writeBackend2(b, inner, path, bytes.Repeat([]byte("h"), int(objSize)))
+	benchRead(b, c, path) // fill
+	b.SetBytes(int64(objSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRead(b, c, path)
+	}
+	b.StopTimer()
+	if n := inner.opens.Load(); n != 1 {
+		b.Fatalf("inner opens = %d, want 1", n)
+	}
+}
+
+// BenchmarkColdFill is the miss path: every iteration admits a new
+// object, evicting older ones — transfer + hash + insert + evict.
+func BenchmarkColdFill(b *testing.B) {
+	const objSize = 64 * units.KiB
+	c, inner := benchCache(b, Config{Memory: 2 * units.MiB})
+	data := bytes.Repeat([]byte("c"), int(objSize))
+	for i := 0; i < b.N; i++ {
+		writeBackend2(b, inner, fmt.Sprintf("/b/cold-%07d", i), data)
+	}
+	b.SetBytes(int64(objSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRead(b, c, fmt.Sprintf("/b/cold-%07d", i))
+	}
+}
+
+// BenchmarkZipfMixed is the realistic blend: zipf(1.1) over 512
+// objects with a memory tier sized for ~1/8 of them — hits, fills
+// and evictions in workload proportions.
+func BenchmarkZipfMixed(b *testing.B) {
+	const objSize = 16 * units.KiB
+	const objects = 512
+	c, inner := benchCache(b, Config{Memory: units.MiB})
+	data := bytes.Repeat([]byte("z"), int(objSize))
+	for i := 0; i < objects; i++ {
+		writeBackend2(b, inner, fmt.Sprintf("/b/obj-%04d", i), data)
+	}
+	zipf := rand.NewZipf(rand.New(rand.NewSource(7)), 1.1, 1, objects-1)
+	b.SetBytes(int64(objSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRead(b, c, fmt.Sprintf("/b/obj-%04d", zipf.Uint64()))
+	}
+	b.StopTimer()
+	if st := c.Stats(); b.N > 100 && st.MemHits == 0 {
+		b.Fatalf("no cache hits in zipf workload: %+v", st)
+	}
+}
+
+func writeBackend2(b *testing.B, be adal.Backend, path string, data []byte) {
+	b.Helper()
+	w, err := be.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,679 @@
+// Package readcache is the per-site hot-set cache in front of the
+// federation: a read-through adal.Backend wrapper with a
+// byte-budgeted in-memory tier and a local-disk tier, sitting between
+// callers and (typically) replication.FederatedBackend so repeated
+// reads of remote objects stop re-crossing the WAN — the caching
+// proxies the AAA federation pairs with its redirector.
+//
+// The cache is scan-resistant and size-aware: each tier is a
+// segmented (2Q-style) LRU whose probationary segment absorbs
+// one-touch traffic, and an admission gate rejects objects larger
+// than a fraction of the tier budget, so one cold huge object cannot
+// evict the working set. Concurrent misses of the same object
+// coalesce onto a single fill (the PR 4 recall op-map, generalized),
+// every fill is SHA-256-verified against the replica catalog's
+// recorded content hash, and invalidation rides the metadata event
+// bus: a dropped/deleted object is evicted everywhere, while
+// stale/lost replica transitions evict only entries whose bytes were
+// never checksum-verified — verified entries of immutable objects
+// stay correct no matter which site died, which is what lets the
+// cache keep serving the hot set straight through a site outage.
+package readcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+// Config tunes a Cache. Zero Memory disables the memory tier; nil
+// Disk disables the disk tier; with both disabled the cache is a
+// transparent pass-through.
+type Config struct {
+	// Memory is the in-memory tier's byte budget.
+	Memory units.Bytes
+	// Disk is the backend holding the disk tier (a LocalFS in
+	// production, a MemFS in tests); DiskBudget is its byte budget.
+	Disk       adal.Backend
+	DiskBudget units.Bytes
+	// AdmitFraction caps a single object at this fraction of a tier's
+	// budget (default 0.25): anything larger bypasses the tier.
+	AdmitFraction float64
+	// ProtectedFraction is the share of a tier's budget reserved for
+	// the protected (re-referenced) segment (default 0.75).
+	ProtectedFraction float64
+	// Meta, when set, drives invalidation: the cache subscribes to
+	// replica and delete events on the store's bus.
+	Meta *metadata.Store
+	// MountPrefix is the federated mount prefix of the inner backend
+	// (e.g. "/sites"); event paths are trimmed by it to recover
+	// backend-relative cache keys.
+	MountPrefix string
+}
+
+// checksumReporter is implemented by backends that can report an
+// object's recorded content hash and size without reading it
+// (FederatedBackend delegates to the replica catalog). The cache
+// discovers it structurally, like the DataBrowser's reporters.
+type checksumReporter interface {
+	ObjectChecksum(rel string) (sum string, size units.Bytes, ok bool)
+}
+
+type placementReporter interface {
+	Placement(rel string) (string, bool)
+}
+
+type replicaReporter interface {
+	ReplicaSites(rel string) ([]string, bool)
+}
+
+// fillOp is one in-flight miss fill; concurrent readers of the same
+// path wait on done instead of opening their own WAN stream.
+type fillOp struct {
+	done        chan struct{}
+	err         error
+	invalidated bool // remove/delete arrived mid-fill: do not insert
+}
+
+// Cache is a two-tier read-through cache over any adal.Backend.
+// All methods are safe for concurrent use.
+type Cache struct {
+	inner adal.Backend
+	cfg   Config
+
+	mu   sync.Mutex
+	mem  *segLRU // nil when the memory tier is disabled
+	disk *segLRU // nil when the disk tier is disabled
+	ops  map[string]*fillOp
+
+	unsub func()
+
+	memHits       atomic.Uint64
+	diskHits      atomic.Uint64
+	misses        atomic.Uint64
+	bypasses      atomic.Uint64
+	fills         atomic.Uint64
+	fillBytes     atomic.Uint64
+	dedups        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+	fillErrors    atomic.Uint64
+}
+
+var _ adal.Backend = (*Cache)(nil)
+
+// New wraps inner with a read-through cache. When the disk tier's
+// backend already holds objects (a restarted lsdfctl state dir), they
+// are re-admitted as unverified entries — served until the first
+// replica event casts doubt on them.
+func New(inner adal.Backend, cfg Config) *Cache {
+	if cfg.AdmitFraction <= 0 || cfg.AdmitFraction > 1 {
+		cfg.AdmitFraction = 0.25
+	}
+	if cfg.ProtectedFraction <= 0 || cfg.ProtectedFraction >= 1 {
+		cfg.ProtectedFraction = 0.75
+	}
+	c := &Cache{inner: inner, cfg: cfg, ops: make(map[string]*fillOp)}
+	if cfg.Memory > 0 {
+		c.mem = newSegLRU(cfg.Memory, cfg.ProtectedFraction, cfg.AdmitFraction)
+	}
+	if cfg.Disk != nil && cfg.DiskBudget > 0 {
+		c.disk = newSegLRU(cfg.DiskBudget, cfg.ProtectedFraction, cfg.AdmitFraction)
+		c.recoverDisk()
+	}
+	if cfg.Meta != nil {
+		c.unsub = cfg.Meta.Subscribe(c.onEvent)
+	}
+	return c
+}
+
+// recoverDisk re-admits objects left in the disk backend by a prior
+// process. They enter probation unverified: usable immediately, but
+// the first stale/lost event on their path evicts them.
+func (c *Cache) recoverDisk() {
+	infos, err := c.cfg.Disk.List("/")
+	if err != nil {
+		return
+	}
+	var stray []string
+	c.mu.Lock()
+	for _, info := range infos {
+		if !c.disk.admits(info.Size) {
+			stray = append(stray, info.Path)
+			continue
+		}
+		for _, e := range c.disk.add(&centry{path: info.Path, size: info.Size}) {
+			stray = append(stray, e.path)
+		}
+	}
+	c.mu.Unlock()
+	for _, p := range stray {
+		_ = c.cfg.Disk.Remove(p)
+	}
+}
+
+// Close detaches the cache from the event bus. Cached entries remain
+// readable; without invalidation they may go stale, so Close belongs
+// at teardown only.
+func (c *Cache) Close() {
+	if c.unsub != nil {
+		c.unsub()
+		c.unsub = nil
+	}
+}
+
+// Name implements adal.Backend transparently.
+func (c *Cache) Name() string { return c.inner.Name() }
+
+// Create implements adal.Backend by delegating: the cache is
+// read-through only, and objects are immutable (Create of an existing
+// path fails below), so a write never shadows a cached entry.
+func (c *Cache) Create(path string) (io.WriteCloser, error) { return c.inner.Create(path) }
+
+// Stat implements adal.Backend by delegating to the inner backend,
+// which answers from the replica catalog without touching a site.
+func (c *Cache) Stat(path string) (adal.FileInfo, error) { return c.inner.Stat(path) }
+
+// List implements adal.Backend by delegating.
+func (c *Cache) List(prefix string) ([]adal.FileInfo, error) { return c.inner.List(prefix) }
+
+// Remove implements adal.Backend: the inner removal runs first, then
+// the local entry is evicted unconditionally — even before the bus
+// delivers the replica "dropped" events (which may be async), no read
+// through this cache can resurrect the object.
+func (c *Cache) Remove(path string) error {
+	err := c.inner.Remove(path)
+	if err == nil {
+		c.invalidate(path, true)
+	}
+	return err
+}
+
+// Open implements adal.Backend: memory hit, coalesce onto an
+// in-flight fill, disk hit (with promotion), or fill/bypass.
+func (c *Cache) Open(path string) (io.ReadCloser, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if e := c.mem.get(path); e != nil {
+			c.mem.touch(e)
+			data := e.data
+			c.mu.Unlock()
+			c.memHits.Add(1)
+			return io.NopCloser(bytes.NewReader(data)), nil
+		}
+		if op := c.ops[path]; op != nil {
+			c.mu.Unlock()
+			c.dedups.Add(1)
+			<-op.done
+			if op.err != nil {
+				return nil, op.err
+			}
+			continue // the leader's fill is cached now
+		}
+		if e := c.disk.get(path); e != nil {
+			c.disk.touch(e)
+			size, verified := e.size, e.verified
+			c.mu.Unlock()
+			if r, ok := c.serveDisk(path, size, verified); ok {
+				c.diskHits.Add(1)
+				return r, nil
+			}
+			continue // disk entry vanished under us; refill
+		}
+		c.mu.Unlock()
+
+		// Miss. Size the object (catalog first, Stat fallback) to
+		// decide admission before claiming the fill.
+		sum, size, sized := c.objectMeta(path)
+		admitMem := c.mem.admits(size)
+		admitDisk := c.disk.admits(size)
+		if !sized || (!admitMem && !admitDisk) || attempt >= 3 {
+			// Inadmissible (or unsizeable, or losing repeated races):
+			// stream straight through. No coalescing — each bypass
+			// reader needs its own stream anyway.
+			c.bypasses.Add(1)
+			return c.inner.Open(path)
+		}
+
+		c.mu.Lock()
+		if c.mem.get(path) != nil || c.disk.get(path) != nil || c.ops[path] != nil {
+			c.mu.Unlock()
+			continue // lost the leadership race; loop re-serves
+		}
+		op := &fillOp{done: make(chan struct{})}
+		c.ops[path] = op
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		r, err := c.fill(path, size, sum, admitMem, admitDisk, op)
+		c.finishOp(path, op, err)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// serveDisk opens a disk-tier hit, promoting it into the memory tier
+// when admitted there (its disk hit is the re-reference that earns
+// promotion). Reports ok=false when the disk bytes are gone — the
+// caller drops the entry and refills.
+func (c *Cache) serveDisk(path string, size units.Bytes, verified bool) (io.ReadCloser, bool) {
+	r, err := c.cfg.Disk.Open(path)
+	if err != nil {
+		c.mu.Lock()
+		c.disk.remove(path)
+		c.mu.Unlock()
+		return nil, false
+	}
+	if !c.mem.admits(size) {
+		return r, true
+	}
+	data := make([]byte, size)
+	_, err = io.ReadFull(r, data)
+	r.Close()
+	if err != nil {
+		c.mu.Lock()
+		c.disk.remove(path)
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	// Only promote while the disk entry is still live: an
+	// invalidation that raced the read must not be resurrected.
+	if c.disk.get(path) != nil && c.mem.get(path) == nil {
+		ev := c.mem.add(&centry{path: path, size: size, data: data, verified: verified})
+		c.evictions.Add(uint64(len(ev)))
+	}
+	c.mu.Unlock()
+	return io.NopCloser(bytes.NewReader(data)), true
+}
+
+// objectMeta resolves an object's recorded content hash and size —
+// from the inner backend's catalog when it has one, else a Stat.
+func (c *Cache) objectMeta(path string) (sum string, size units.Bytes, ok bool) {
+	if cr, has := c.inner.(checksumReporter); has {
+		if sum, size, ok := cr.ObjectChecksum(path); ok && size > 0 {
+			return sum, size, true
+		}
+	}
+	info, err := c.inner.Stat(path)
+	if err != nil || info.Size <= 0 {
+		return "", 0, false
+	}
+	return "", info.Size, true
+}
+
+// fill streams the object from the inner backend once, hashing in
+// passing (the WriteChecksummed discipline), lands it in the admitted
+// tiers, and returns the leader's reader. A hash or length mismatch —
+// possible when a mid-stream failover spliced bytes from a stale
+// replica — keeps the object out of the cache but still serves the
+// leader exactly what a direct read would have returned.
+func (c *Cache) fill(path string, size units.Bytes, sum string, admitMem, admitDisk bool, op *fillOp) (io.ReadCloser, error) {
+	src, err := c.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+
+	h := sha256.New()
+	writers := []io.Writer{h}
+	var buf *bytes.Buffer
+	if admitMem {
+		buf = bytes.NewBuffer(make([]byte, 0, size))
+		writers = append(writers, buf)
+	}
+	var dw io.WriteCloser
+	if admitDisk {
+		dw, err = c.cfg.Disk.Create(path)
+		if err != nil {
+			// A leftover file from a crashed fill: clear and retry.
+			_ = c.cfg.Disk.Remove(path)
+			dw, err = c.cfg.Disk.Create(path)
+		}
+		if err != nil {
+			if !admitMem {
+				return nil, err
+			}
+			admitDisk = false
+		} else {
+			writers = append(writers, dw)
+		}
+	}
+
+	n, err := adal.PooledCopy(io.MultiWriter(writers...), src)
+	if dw != nil {
+		if cerr := dw.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		if admitDisk {
+			_ = c.cfg.Disk.Remove(path)
+		}
+		c.fillErrors.Add(1)
+		return nil, err
+	}
+
+	verified := sum != "" && hex.EncodeToString(h.Sum(nil)) == sum
+	if units.Bytes(n) != size || (sum != "" && !verified) {
+		// Suspect bytes: never cache them, but a direct read would
+		// have returned this very stream, so the leader still gets it.
+		if admitDisk {
+			_ = c.cfg.Disk.Remove(path)
+		}
+		c.fillErrors.Add(1)
+		if buf != nil {
+			return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+		}
+		return c.inner.Open(path)
+	}
+	c.fills.Add(1)
+	c.fillBytes.Add(uint64(n))
+
+	var evicted []string
+	c.mu.Lock()
+	if op.invalidated {
+		c.mu.Unlock()
+		if admitDisk {
+			_ = c.cfg.Disk.Remove(path)
+		}
+	} else {
+		var nev int
+		if admitMem {
+			ev := c.mem.add(&centry{path: path, size: size, data: buf.Bytes(), verified: verified})
+			nev += len(ev)
+		}
+		if admitDisk {
+			for _, e := range c.disk.add(&centry{path: path, size: size, verified: verified}) {
+				evicted = append(evicted, e.path)
+			}
+			nev += len(evicted)
+		}
+		c.mu.Unlock()
+		c.evictions.Add(uint64(nev))
+		for _, p := range evicted {
+			_ = c.cfg.Disk.Remove(p)
+		}
+	}
+
+	if buf != nil {
+		return io.NopCloser(bytes.NewReader(buf.Bytes())), nil
+	}
+	if r, err := c.cfg.Disk.Open(path); err == nil {
+		return r, nil
+	}
+	return c.inner.Open(path)
+}
+
+// finishOp publishes the fill outcome: the op leaves the map first,
+// so a waiter that wakes and loops re-examines fresh state.
+func (c *Cache) finishOp(path string, op *fillOp, err error) {
+	c.mu.Lock()
+	op.err = err
+	delete(c.ops, path)
+	c.mu.Unlock()
+	close(op.done)
+}
+
+// onEvent drives invalidation from the metadata bus. Replica
+// "dropped" and dataset deletion evict the path unconditionally and
+// poison any in-flight fill; "stale"/"lost" evict only unverified
+// entries — a checksum-verified copy of an immutable object is
+// correct regardless of which replica just died, and keeping it is
+// exactly what lets the cache ride out a site failover.
+func (c *Cache) onEvent(ev metadata.Event) {
+	var state string
+	switch ev.Type {
+	case metadata.EventReplica:
+		state = ev.Placement
+		if state != "stale" && state != "lost" && state != "dropped" {
+			return
+		}
+	case metadata.EventDeleted:
+		state = "dropped"
+	default:
+		return
+	}
+	path := ev.Dataset.Path
+	if c.cfg.MountPrefix != "" {
+		if !strings.HasPrefix(path, c.cfg.MountPrefix) {
+			return
+		}
+		path = strings.TrimPrefix(path, c.cfg.MountPrefix)
+	}
+	c.invalidate(path, state == "dropped")
+}
+
+// invalidate evicts path from both tiers; force evicts even
+// checksum-verified entries and poisons an in-flight fill.
+func (c *Cache) invalidate(path string, force bool) {
+	dropDisk := false
+	c.mu.Lock()
+	if e := c.mem.get(path); e != nil && (force || !e.verified) {
+		c.mem.removeEntry(e)
+		c.invalidations.Add(1)
+	}
+	if e := c.disk.get(path); e != nil && (force || !e.verified) {
+		c.disk.removeEntry(e)
+		c.invalidations.Add(1)
+		dropDisk = true
+	}
+	if op := c.ops[path]; op != nil && force {
+		op.invalidated = true
+	}
+	c.mu.Unlock()
+	if dropDisk {
+		_ = c.cfg.Disk.Remove(path)
+	}
+}
+
+// Evict drops path from every tier (the lsdfctl verb), reporting
+// whether anything was cached.
+func (c *Cache) Evict(path string) bool {
+	dropDisk := false
+	had := false
+	c.mu.Lock()
+	if e := c.mem.remove(path); e != nil {
+		had = true
+	}
+	if e := c.disk.remove(path); e != nil {
+		had, dropDisk = true, true
+	}
+	c.mu.Unlock()
+	if dropDisk {
+		_ = c.cfg.Disk.Remove(path)
+	}
+	if had {
+		c.evictions.Add(1)
+	}
+	return had
+}
+
+// Warm pre-fills the cache with every inner object under prefix that
+// the tiers admit, returning how many objects are now cached.
+func (c *Cache) Warm(prefix string) (int, error) {
+	infos, err := c.inner.List(prefix)
+	if err != nil {
+		return 0, err
+	}
+	warmed := 0
+	for _, info := range infos {
+		if !c.mem.admits(info.Size) && !c.disk.admits(info.Size) {
+			continue
+		}
+		r, err := c.Open(info.Path)
+		if err != nil {
+			continue
+		}
+		_, cerr := io.Copy(io.Discard, r)
+		r.Close()
+		if cerr == nil {
+			warmed++
+		}
+	}
+	return warmed, nil
+}
+
+// CacheTier reports which tier currently holds rel ("memory" wins
+// over "disk"); the DataBrowser discovers this structurally.
+func (c *Cache) CacheTier(rel string) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mem.get(rel) != nil {
+		return "memory", true
+	}
+	if c.disk.get(rel) != nil {
+		return "disk", true
+	}
+	return "", false
+}
+
+// Placement forwards the inner backend's placement reporter so the
+// DataBrowser's columns survive the cache wrapper.
+func (c *Cache) Placement(rel string) (string, bool) {
+	if p, ok := c.inner.(placementReporter); ok {
+		return p.Placement(rel)
+	}
+	return "", false
+}
+
+// ReplicaSites forwards the inner backend's replica reporter.
+func (c *Cache) ReplicaSites(rel string) ([]string, bool) {
+	if p, ok := c.inner.(replicaReporter); ok {
+		return p.ReplicaSites(rel)
+	}
+	return nil, false
+}
+
+// ObjectChecksum forwards the inner backend's checksum reporter, so
+// stacked caches (or audits) see through this one.
+func (c *Cache) ObjectChecksum(rel string) (string, units.Bytes, bool) {
+	if cr, ok := c.inner.(checksumReporter); ok {
+		return cr.ObjectChecksum(rel)
+	}
+	return "", 0, false
+}
+
+// Stats is a point-in-time snapshot of the cache counters and tier
+// occupancy.
+type Stats struct {
+	MemHits, DiskHits        uint64
+	Misses, Bypasses         uint64
+	Fills, FillBytes, Dedups uint64
+	Evictions                uint64
+	Invalidations            uint64
+	FillErrors               uint64
+
+	MemUsed, MemBudget   units.Bytes
+	DiskUsed, DiskBudget units.Bytes
+	MemObjects           int
+	DiskObjects          int
+}
+
+// HitRate is hits across both tiers over all cacheable lookups.
+func (s Stats) HitRate() float64 {
+	total := s.MemHits + s.DiskHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemHits+s.DiskHits) / float64(total)
+}
+
+// Stats returns the current counters and occupancy.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		MemHits:       c.memHits.Load(),
+		DiskHits:      c.diskHits.Load(),
+		Misses:        c.misses.Load(),
+		Bypasses:      c.bypasses.Load(),
+		Fills:         c.fills.Load(),
+		FillBytes:     c.fillBytes.Load(),
+		Dedups:        c.dedups.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		FillErrors:    c.fillErrors.Load(),
+	}
+	c.mu.Lock()
+	if c.mem != nil {
+		st.MemUsed, st.MemBudget, st.MemObjects = c.mem.used, c.mem.budget, len(c.mem.idx)
+	}
+	if c.disk != nil {
+		st.DiskUsed, st.DiskBudget, st.DiskObjects = c.disk.used, c.disk.budget, len(c.disk.idx)
+	}
+	c.mu.Unlock()
+	return st
+}
+
+// CacheCounters exports the counters as a flat map — the structural
+// surface the DataBrowser and lsdfctl render.
+func (c *Cache) CacheCounters() map[string]uint64 {
+	st := c.Stats()
+	return map[string]uint64{
+		"mem_hits":      st.MemHits,
+		"disk_hits":     st.DiskHits,
+		"misses":        st.Misses,
+		"bypasses":      st.Bypasses,
+		"fills":         st.Fills,
+		"fill_bytes":    st.FillBytes,
+		"dedups":        st.Dedups,
+		"evictions":     st.Evictions,
+		"invalidations": st.Invalidations,
+		"fill_errors":   st.FillErrors,
+		"mem_used":      uint64(st.MemUsed),
+		"mem_objects":   uint64(st.MemObjects),
+		"disk_used":     uint64(st.DiskUsed),
+		"disk_objects":  uint64(st.DiskObjects),
+	}
+}
+
+// Entry describes one cached object for listings.
+type Entry struct {
+	Path     string
+	Tier     string // "memory" or "disk"
+	Size     units.Bytes
+	Verified bool
+	Hot      bool // protected segment (re-referenced)
+}
+
+// Entries lists every cached object, memory tier first, each tier
+// sorted by path.
+func (c *Cache) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Entry
+	collect := func(s *segLRU, tier string) {
+		if s == nil {
+			return
+		}
+		paths := s.paths()
+		sort.Strings(paths)
+		for _, p := range paths {
+			e := s.idx[p]
+			out = append(out, Entry{Path: p, Tier: tier, Size: e.size, Verified: e.verified, Hot: e.prot})
+		}
+	}
+	collect(c.mem, "memory")
+	collect(c.disk, "disk")
+	return out
+}
+
+// String summarizes the cache for logs.
+func (c *Cache) String() string {
+	st := c.Stats()
+	return fmt.Sprintf("readcache{mem %s/%s (%d obj) disk %s/%s (%d obj) hit %.0f%%}",
+		st.MemUsed.SI(), st.MemBudget.SI(), st.MemObjects,
+		st.DiskUsed.SI(), st.DiskBudget.SI(), st.DiskObjects,
+		100*st.HitRate())
+}

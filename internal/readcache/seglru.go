@@ -1,0 +1,164 @@
+package readcache
+
+import (
+	"container/list"
+
+	"repro/internal/units"
+)
+
+// centry is one cached object's bookkeeping record. The same type
+// serves both tiers: the memory tier carries the bytes inline, the
+// disk tier leaves data nil and keeps the bytes in its backend.
+// Records are owned by exactly one segLRU and are only touched under
+// the cache mutex; the data slice, once inserted, is immutable, so
+// readers may hold it after the lock is released (and even after the
+// entry is evicted).
+type centry struct {
+	path     string
+	size     units.Bytes
+	data     []byte // memory tier only
+	verified bool   // bytes matched the catalog content hash at fill time
+	elem     *list.Element
+	prot     bool // protected segment (vs probationary)
+}
+
+// segLRU is a byte-budgeted segmented LRU (the 2Q-flavoured eviction
+// the tiers share): new objects enter a probationary segment and are
+// promoted to the protected segment on their second touch. Eviction
+// drains the probationary tail first, so a one-pass scan churns only
+// probation and cannot flush the established hot set; the protected
+// segment is itself capped, demoting its tail back to probation so a
+// shifting hot set still turns over.
+//
+// All methods assume the owning cache's mutex is held.
+type segLRU struct {
+	budget   units.Bytes
+	protCap  units.Bytes // ceiling on protected bytes (protectedFraction * budget)
+	admitCap units.Bytes // largest admissible object (admitFraction * budget)
+
+	used     units.Bytes
+	protUsed units.Bytes
+	prob     *list.List // front = most recent
+	protSeg  *list.List
+	idx      map[string]*centry
+}
+
+func newSegLRU(budget units.Bytes, protFrac, admitFrac float64) *segLRU {
+	return &segLRU{
+		budget:   budget,
+		protCap:  units.Bytes(protFrac * float64(budget)),
+		admitCap: units.Bytes(admitFrac * float64(budget)),
+		prob:     list.New(),
+		protSeg:  list.New(),
+		idx:      make(map[string]*centry),
+	}
+}
+
+// admits reports whether an object of the given size may enter the
+// tier at all — the size-aware admission gate that keeps one huge
+// cold object from evicting the entire hot set.
+func (s *segLRU) admits(size units.Bytes) bool {
+	return s != nil && size > 0 && size <= s.admitCap
+}
+
+func (s *segLRU) get(path string) *centry {
+	if s == nil {
+		return nil
+	}
+	return s.idx[path]
+}
+
+// touch records a hit: probationary entries are promoted to the
+// protected segment (their second touch proves re-use), protected
+// entries move to the segment front. Promotion may demote the
+// protected tail back to probation to respect the protected cap.
+func (s *segLRU) touch(e *centry) {
+	if e.prot {
+		s.protSeg.MoveToFront(e.elem)
+		return
+	}
+	s.prob.Remove(e.elem)
+	e.prot = true
+	e.elem = s.protSeg.PushFront(e)
+	s.protUsed += e.size
+	for s.protUsed > s.protCap {
+		tail := s.protSeg.Back()
+		if tail == nil || tail.Value.(*centry) == e {
+			break
+		}
+		d := tail.Value.(*centry)
+		s.protSeg.Remove(tail)
+		d.prot = false
+		d.elem = s.prob.PushFront(d)
+		s.protUsed -= d.size
+	}
+}
+
+// add inserts a new entry into probation and returns the entries
+// evicted to stay within budget (probationary tail first, then the
+// protected tail). The new entry itself is never a victim: admits
+// guarantees it is smaller than the budget, so space can always be
+// reclaimed from older entries.
+func (s *segLRU) add(e *centry) (evicted []*centry) {
+	if old := s.idx[e.path]; old != nil {
+		s.removeEntry(old)
+		evicted = append(evicted, old)
+	}
+	e.prot = false
+	e.elem = s.prob.PushFront(e)
+	s.idx[e.path] = e
+	s.used += e.size
+	for s.used > s.budget {
+		victim := s.prob.Back()
+		if victim != nil && victim.Value.(*centry) == e {
+			victim = victim.Prev()
+		}
+		if victim == nil {
+			victim = s.protSeg.Back()
+		}
+		if victim == nil {
+			break
+		}
+		v := victim.Value.(*centry)
+		s.removeEntry(v)
+		evicted = append(evicted, v)
+	}
+	return evicted
+}
+
+// remove drops path's entry, reporting it (nil when absent).
+func (s *segLRU) remove(path string) *centry {
+	if s == nil {
+		return nil
+	}
+	e := s.idx[path]
+	if e == nil {
+		return nil
+	}
+	s.removeEntry(e)
+	return e
+}
+
+func (s *segLRU) removeEntry(e *centry) {
+	if e.prot {
+		s.protSeg.Remove(e.elem)
+		s.protUsed -= e.size
+	} else {
+		s.prob.Remove(e.elem)
+	}
+	delete(s.idx, e.path)
+	s.used -= e.size
+	e.elem = nil
+}
+
+// paths returns every cached path (unordered); callers sort.
+func (s *segLRU) paths() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.idx))
+	for p := range s.idx {
+		out = append(out, p)
+	}
+	return out
+}

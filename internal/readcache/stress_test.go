@@ -1,0 +1,266 @@
+package readcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/metadata"
+	"repro/internal/replication"
+	"repro/internal/units"
+)
+
+// testFedCache builds a 3-site federation with a read-through cache
+// in front of it, all wired to one metadata bus — the full PR 5 +
+// cache stack the facility assembles in production.
+func testFedCache(t testing.TB, cacheCfg Config) (*Cache, *replication.FederatedBackend, *replication.Engine, []*replication.Site, *metadata.Store) {
+	t.Helper()
+	meta := metadata.NewStore()
+	sites := []*replication.Site{
+		replication.NewSite("kit", adal.NewMemFS("kit"), 0),
+		replication.NewSite("gridka", adal.NewMemFS("gridka"), 1),
+		replication.NewSite("desy", adal.NewMemFS("desy"), 2),
+	}
+	cat := replication.NewCatalog(replication.CatalogConfig{Meta: meta, MountPrefix: "/sites"})
+	eng, err := replication.NewEngine(replication.Config{
+		Catalog: cat, Sites: sites, MinReplicas: 3,
+		Meta: meta, MountPrefix: "/sites",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	fb := replication.NewFederated("fed", eng)
+	cacheCfg.Meta = meta
+	cacheCfg.MountPrefix = "/sites"
+	c := New(fb, cacheCfg)
+	t.Cleanup(c.Close)
+	return c, fb, eng, sites, meta
+}
+
+func fedWrite(t testing.TB, fb *replication.FederatedBackend, path string, data []byte) {
+	t.Helper()
+	w, err := fb.Create(path)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheStressKillRevive races cached reads, manual evictions,
+// object remove/recreate cycles and a site kill/revive loop under
+// -race: every successful read must return the object's exact bytes,
+// and reads may fail only with not-found for an object that is
+// legitimately mid-recreate.
+func TestCacheStressKillRevive(t *testing.T) {
+	c, fb, eng, sites, _ := testFedCache(t, Config{
+		Memory: 96 * units.KiB,
+		Disk:   adal.NewMemFS("cachedisk"), DiskBudget: 256 * units.KiB,
+	})
+
+	const objects = 24
+	const objSize = 8 * units.KiB
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte(i), 0x5a}, int(objSize)/2)
+	}
+	paths := make([]string, objects)
+	for i := range paths {
+		paths[i] = fmt.Sprintf("/exp/obj-%03d", i)
+		fedWrite(t, fb, paths[i], payload(i))
+	}
+	eng.Wait()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var reads, notFounds atomic.Int64
+
+	// Chaos: one site down at a time, kill/revive every few hundred µs.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := sites[rng.Intn(len(sites))]
+			s.SetDown(true)
+			time.Sleep(300 * time.Microsecond)
+			s.SetDown(false)
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	// Evictor: hammers manual eviction so hits race removals.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(2))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Evict(paths[rng.Intn(objects)])
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Churner: removes and recreates the last object with identical
+	// bytes, so fills race "dropped" invalidations.
+	const churn = objects - 1
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := c.Remove(paths[churn]); err == nil {
+				w, err := fb.Create(paths[churn])
+				if err == nil {
+					w.Write(payload(churn))
+					w.Close()
+				}
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Readers.
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i := rng.Intn(objects)
+				r, err := c.Open(paths[i])
+				if err != nil {
+					// The churn object may legitimately be mid-recreate
+					// (not found) or have its only fanned-out-so-far
+					// replica on the currently killed site (site down).
+					if i == churn && (errors.Is(err, adal.ErrNotFound) ||
+						errors.Is(err, replication.ErrSiteDown)) {
+						notFounds.Add(1)
+						continue
+					}
+					t.Errorf("open %s: %v", paths[i], err)
+					return
+				}
+				got, err := io.ReadAll(r)
+				r.Close()
+				if err != nil {
+					t.Errorf("read %s: %v", paths[i], err)
+					return
+				}
+				if !bytes.Equal(got, payload(i)) {
+					t.Errorf("stale/corrupt read of %s: %d bytes", paths[i], len(got))
+					return
+				}
+				reads.Add(1)
+			}
+		}(int64(10 + g))
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if reads.Load() == 0 {
+		t.Fatal("no reads completed")
+	}
+	st := c.Stats()
+	t.Logf("reads=%d notFound=%d stats=%+v", reads.Load(), notFounds.Load(), st)
+}
+
+// TestCachedMatchesDirectUnderKillSchedules is the property test: for
+// seeded random kill/revive schedules, a read through the cache and a
+// direct federated read must both return the object's original bytes
+// — the cache may never serve anything a direct read would not.
+func TestCachedMatchesDirectUnderKillSchedules(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c, fb, eng, sites, _ := testFedCache(t, Config{
+				Memory: 32 * units.KiB,
+				Disk:   adal.NewMemFS("cachedisk"), DiskBudget: 64 * units.KiB,
+			})
+			rng := rand.New(rand.NewSource(seed))
+
+			const objects = 8
+			want := make([][]byte, objects)
+			paths := make([]string, objects)
+			for i := range paths {
+				paths[i] = fmt.Sprintf("/exp/obj-%d", i)
+				want[i] = bytes.Repeat([]byte{byte(seed), byte(i)}, 2048)
+				fedWrite(t, fb, paths[i], want[i])
+			}
+			eng.Wait()
+
+			for step := 0; step < 80; step++ {
+				// Mutate the outage pattern: at most one site down, so
+				// a readable replica always exists.
+				for _, s := range sites {
+					s.SetDown(false)
+				}
+				if rng.Intn(4) > 0 {
+					sites[rng.Intn(len(sites))].SetDown(true)
+				}
+				i := rng.Intn(objects)
+				cached, err := c.Open(paths[i])
+				if err != nil {
+					t.Fatalf("step %d: cached open %s: %v", step, paths[i], err)
+				}
+				got, err := io.ReadAll(cached)
+				cached.Close()
+				if err != nil {
+					t.Fatalf("step %d: cached read: %v", step, err)
+				}
+				direct, err := fb.Open(paths[i])
+				if err != nil {
+					t.Fatalf("step %d: direct open: %v", step, err)
+				}
+				dgot, err := io.ReadAll(direct)
+				direct.Close()
+				if err != nil {
+					t.Fatalf("step %d: direct read: %v", step, err)
+				}
+				if !bytes.Equal(got, want[i]) {
+					t.Fatalf("step %d: cached bytes diverge from original", step)
+				}
+				if !bytes.Equal(got, dgot) {
+					t.Fatalf("step %d: cached read differs from direct read", step)
+				}
+			}
+			for _, s := range sites {
+				s.SetDown(false)
+			}
+			eng.Wait()
+		})
+	}
+}

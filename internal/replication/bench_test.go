@@ -2,8 +2,10 @@ package replication
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/adal"
@@ -91,6 +93,61 @@ func BenchmarkFailoverRead(b *testing.B) {
 	}
 	b.StopTimer()
 	eng.Wait()
+}
+
+// TestFederatedReadCopyIsPooled pins the pooled-buffer read path:
+// copying a federated read into a destination that is not an
+// io.ReaderFrom (here a SHA-256 hash, the shape of every verify and
+// cache fill) must go through failoverReader.WriteTo and the shared
+// buffer pool, not a fresh 32 KiB io.Copy buffer per read. The
+// threshold of 16 KiB/read would catch that regression an order of
+// magnitude before it reappears.
+func TestFederatedReadCopyIsPooled(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation inflates allocation counts")
+	}
+	sites := []*Site{
+		NewSite("kit", adal.NewMemFS("kit"), 0),
+		NewSite("gridka", adal.NewMemFS("gridka"), 1),
+		NewSite("desy", adal.NewMemFS("desy"), 2),
+	}
+	cat := NewCatalog(CatalogConfig{})
+	eng, err := NewEngine(Config{Catalog: cat, Sites: sites, MinReplicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	fb := NewFederated("fed", eng)
+
+	const objSize = 256 * units.KiB
+	writeObject(t, fb, "/b/obj", bytes.Repeat([]byte("p"), int(objSize)))
+	eng.Wait()
+
+	h := sha256.New()
+	readOnce := func() {
+		r, err := fb.Open("/b/obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(h, r); err != nil {
+			t.Fatal(err)
+		}
+		r.Close()
+	}
+	readOnce() // warm the buffer pool and any lazy state
+
+	const reads = 64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reads; i++ {
+		readOnce()
+	}
+	runtime.ReadMemStats(&after)
+	perRead := (after.TotalAlloc - before.TotalAlloc) / reads
+	if perRead > 16*1024 {
+		t.Fatalf("federated read copy allocates %d B/read, want ≤ 16 KiB (pooled)", perRead)
+	}
 }
 
 func writeBench(b *testing.B, fb *FederatedBackend, path string, size int) {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/adal"
 	"repro/internal/metadata"
 	"repro/internal/units"
 )
@@ -441,7 +442,7 @@ func (e *Engine) verifySite(s *Site, path, want string) (bool, string, units.Byt
 	}
 	defer r.Close()
 	h := sha256.New()
-	n, err := io.Copy(h, r)
+	n, err := adal.PooledCopy(h, r)
 	if err != nil {
 		return false, "", 0
 	}

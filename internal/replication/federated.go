@@ -72,6 +72,14 @@ func (f *FederatedBackend) ReplicaSites(rel string) ([]string, bool) {
 	return f.catalog.ValidSites(rel), true
 }
 
+// ObjectChecksum reports the catalog's recorded content hash and
+// logical size for the backend-relative path. The read cache
+// discovers this structurally to size admission and verify fills
+// without an extra WAN round trip.
+func (f *FederatedBackend) ObjectChecksum(rel string) (string, units.Bytes, bool) {
+	return f.catalog.Checksum(rel)
+}
+
 // noteFailure records a failed site read: the replica is marked
 // Stale (Lost when the site reports the object missing) and its
 // re-replication is enqueued.
@@ -87,7 +95,11 @@ func (f *FederatedBackend) noteFailure(s *Site, path string, err error) {
 // readCandidates orders the sites worth trying for a read of path:
 // valid replicas nearest first, then stale ones (their bytes are
 // suspect but better than failing), skipping sites already tried.
-func (f *FederatedBackend) readCandidates(path string, tried map[string]bool) []*Site {
+// Sites whose health gate is already down are returned separately —
+// dialing them is pointless, but the caller still owes them the
+// read-triggered bookkeeping (stale mark, failover count) so outage
+// detection keeps working.
+func (f *FederatedBackend) readCandidates(path string, tried map[string]bool) (cands, down []*Site) {
 	var valid, stale []*Site
 	for _, rep := range f.catalog.Replicas(path) {
 		if tried[rep.Site] {
@@ -97,20 +109,42 @@ func (f *FederatedBackend) readCandidates(path string, tried map[string]bool) []
 		if !ok {
 			continue
 		}
-		switch rep.State {
-		case Valid:
+		if rep.State != Valid && rep.State != Stale {
+			continue
+		}
+		if s.IsDown() {
+			down = append(down, s)
+			continue
+		}
+		if rep.State == Valid {
 			valid = append(valid, s)
-		case Stale:
+		} else {
 			stale = append(stale, s)
 		}
 	}
 	sortSites(valid)
 	sortSites(stale)
-	return append(valid, stale...)
+	return append(valid, stale...), down
+}
+
+// noteDown records that a read skipped a known-down site: the replica
+// is marked Stale, and re-replication is enqueued only on the actual
+// state transition — a site that stays down through a thousand reads
+// costs one catalog event and one Ensure, not a thousand.
+func (f *FederatedBackend) noteDown(s *Site, path string, tried map[string]bool) error {
+	tried[s.Name] = true
+	err := s.errDown()
+	if f.catalog.Mark(path, s.Name, Stale, err.Error()) {
+		f.engine.Ensure(path)
+	}
+	return err
 }
 
 // Open implements adal.Backend: nearest valid replica, transparent
-// failover, and a reader that keeps failing over mid-stream.
+// failover, and a reader that keeps failing over mid-stream. Sites
+// already marked down are skipped without a dial attempt — and,
+// being added to tried, are never revisited within this call even
+// when a concurrent noteFailure re-shuffles the candidate set.
 func (f *FederatedBackend) Open(path string) (io.ReadCloser, error) {
 	if !f.catalog.Known(path) {
 		return nil, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, f.name, path)
@@ -118,7 +152,11 @@ func (f *FederatedBackend) Open(path string) (io.ReadCloser, error) {
 	tried := make(map[string]bool)
 	var lastErr error
 	for {
-		cands := f.readCandidates(path, tried)
+		cands, down := f.readCandidates(path, tried)
+		for _, s := range down {
+			lastErr = f.noteDown(s, path, tried)
+			f.failovers.Add(1)
+		}
 		if len(cands) == 0 {
 			if lastErr == nil {
 				lastErr = fmt.Errorf("%w: %s:%s (no readable replica)", adal.ErrNotFound, f.name, path)
@@ -173,10 +211,13 @@ func (r *failoverReader) Read(p []byte) (int, error) {
 }
 
 // switchSource opens the next untried candidate and fast-forwards it
-// to the current offset.
+// to the current offset; known-down sites are skipped without a dial.
 func (r *failoverReader) switchSource() bool {
 	for {
-		cands := r.fb.readCandidates(r.path, r.tried)
+		cands, down := r.fb.readCandidates(r.path, r.tried)
+		for _, s := range down {
+			_ = r.fb.noteDown(s, r.path, r.tried)
+		}
 		if len(cands) == 0 {
 			return false
 		}
@@ -191,6 +232,17 @@ func (r *failoverReader) switchSource() bool {
 		r.cur, r.site = nr, s
 		return true
 	}
+}
+
+// WriteTo streams the remainder of the object through the shared
+// transfer-buffer pool. Without it, an io.Copy whose destination is
+// not a ReaderFrom (a checksum hash, a cache fill's multi-writer)
+// allocates a fresh 32 KiB buffer per read — per-read garbage on the
+// federation's hottest path. The source is wrapped to hide this very
+// method from io.CopyBuffer, and the copy funnels through Read, so
+// mid-stream failover keeps working under WriteTo.
+func (r *failoverReader) WriteTo(w io.Writer) (int64, error) {
+	return adal.PooledCopy(w, struct{ io.Reader }{r})
 }
 
 func (r *failoverReader) Close() error {

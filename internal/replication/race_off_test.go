@@ -1,0 +1,5 @@
+//go:build !race
+
+package replication
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package replication
+
+// raceEnabled reports whether the race detector is instrumenting
+// this test binary; allocation-budget assertions are meaningless
+// under its shadow allocations.
+const raceEnabled = true
