@@ -7,11 +7,20 @@
 //	databrowser -state /tmp/lsdf preview /data/img1.raw
 //	databrowser -state /tmp/lsdf tag /data/img1.raw analyze
 //	databrowser -state /tmp/lsdf serve :8080
+//
+// With -server, the browsing commands run against a live lsdfd
+// gateway as an authenticated tenant; preview uses an HTTP range
+// read, so only the first bytes cross the wire:
+//
+//	databrowser -server http://lsdf.example:7420 -token SECRET list /data
+//	databrowser -server http://lsdf.example:7420 -token SECRET preview /data/img1.raw
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -19,26 +28,92 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/databrowser"
+	"repro/internal/gateway/client"
 	"repro/internal/metadata"
 )
 
 func main() {
 	state := flag.String("state", "", "state directory shared with lsdfctl")
+	server := flag.String("server", "", "lsdfd gateway URL: browse remotely instead of a local -state")
+	token := flag.String("token", "", "bearer token for -server")
 	flag.Parse()
-	if *state == "" || flag.NArg() == 0 {
+	if (*state == "" && *server == "") || flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, `usage: databrowser -state DIR COMMAND [args]
+       databrowser -server URL -token SECRET COMMAND [args]
 
 commands:
   list PREFIX       browse objects joined with metadata
   preview PATH      print the first 256 bytes of an object
   tag PATH TAG      tag the dataset at PATH
-  serve ADDR        serve the JSON web API (GET /list, /stat, /dataset, /find; POST /tag)`)
+  serve ADDR        serve the JSON web API (local mode only;
+                    GET /list, /stat, /dataset, /find; POST /tag)`)
 		os.Exit(2)
 	}
-	if err := run(*state, flag.Args()); err != nil {
+	var err error
+	if *server != "" {
+		err = runRemote(*server, *token, flag.Args())
+	} else {
+		err = run(*state, flag.Args())
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "databrowser:", err)
 		os.Exit(1)
 	}
+}
+
+// runRemote browses through the lsdfd gateway: same commands, same
+// output, but ACL-scoped to the token's tenant and rate-limited like
+// any other client.
+func runRemote(server, token string, args []string) error {
+	c, err := client.New(server, token, client.Options{})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		prefix := "/data"
+		if len(rest) > 0 {
+			prefix = rest[0]
+		}
+		infos, err := c.List(ctx, prefix)
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			meta := "(unregistered)"
+			if info.DatasetID != "" {
+				meta = fmt.Sprintf("%s %s [%s]", info.DatasetID, info.Project, strings.Join(info.Tags, ","))
+			}
+			fmt.Printf("%-10s  %-40s  %s\n", info.Size.SI(), info.Path, meta)
+		}
+		return nil
+	case "preview":
+		if len(rest) != 1 {
+			return fmt.Errorf("preview: need PATH")
+		}
+		rc, err := c.GetRange(ctx, rest[0], 0, 256)
+		if err != nil {
+			return err
+		}
+		defer rc.Close()
+		head, err := io.ReadAll(rc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%q\n", head)
+		return nil
+	case "tag":
+		if len(rest) != 2 {
+			return fmt.Errorf("tag: need PATH TAG")
+		}
+		_, err := c.Tag(ctx, rest[0], rest[1])
+		return err
+	case "serve":
+		return fmt.Errorf("serve is local-only: run it on the facility host, or point clients at lsdfd itself")
+	}
+	return fmt.Errorf("unknown command %q", cmd)
 }
 
 func run(state string, args []string) error {

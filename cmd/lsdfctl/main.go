@@ -12,6 +12,17 @@
 //	lsdfctl -state /tmp/lsdf tier
 //	lsdfctl -state /tmp/lsdf tier migrate /data/img1.raw
 //
+// With -server, the same user-facing commands run against a live
+// lsdfd gateway instead of a local state directory — the CLI becomes
+// a network client authenticated by -token:
+//
+//	lsdfctl -server http://lsdf.example:7420 -token SECRET ingest -project zebrafish img*.raw
+//	lsdfctl -server http://lsdf.example:7420 -token SECRET ls /data
+//
+// Facility-internal planes (tier, replica, cache, export) stay
+// local-only: they administer backend state the gateway deliberately
+// does not expose to tenants.
+//
 // The object namespace is a live tiered data path: objects/ is the
 // hot tier, cold/ the cold one. "tier migrate" replaces an object's
 // hot bytes with a self-describing stub; any later read (or "tier
@@ -21,6 +32,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +41,8 @@ import (
 	"strings"
 
 	"repro/internal/adal"
+	"repro/internal/gateway"
+	"repro/internal/gateway/client"
 	"repro/internal/metadata"
 	"repro/internal/readcache"
 	"repro/internal/replication"
@@ -40,7 +54,20 @@ func main() {
 	state := flag.String("state", "", "state directory (created if missing)")
 	cacheMem := flag.Int("cache-mem-mib", 64, "read cache memory tier budget in MiB (0 disables the cache)")
 	cacheDisk := flag.Int("cache-disk-mib", 256, "read cache disk tier budget in MiB (persisted under STATE/cache)")
+	server := flag.String("server", "", "lsdfd gateway URL: run commands remotely instead of against -state")
+	token := flag.String("token", "", "bearer token for -server")
 	flag.Parse()
+	if *server != "" {
+		if flag.NArg() == 0 {
+			usage()
+			os.Exit(2)
+		}
+		if err := runRemote(*server, *token, flag.Args()); err != nil {
+			fmt.Fprintln(os.Stderr, "lsdfctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *state == "" || flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
@@ -53,6 +80,12 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: lsdfctl -state DIR COMMAND [args]
+       lsdfctl -server URL -token SECRET COMMAND [args]
+
+With -server, ingest/ls/stat/tag/untag/query run against a live lsdfd
+gateway (ingest also takes -dest PREFIX, default /data). The
+facility-internal planes (tier, replica, cache, export) are
+local-only.
 
 commands:
   ingest -project P FILE...   store files under /data with checksums and register them
@@ -74,6 +107,121 @@ commands:
   cache status                show read-cache counters and cached objects
   cache evict PATH            drop an object from every cache tier
   cache warm PREFIX           pre-fill the cache with the objects under PREFIX`)
+}
+
+// runRemote drives the user-facing commands through the gateway
+// client against a served lsdfd. The command surface and output
+// format match the local mode so scripts work against either.
+func runRemote(server, token string, args []string) error {
+	c, err := client.New(server, token, client.Options{})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "ingest":
+		fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+		project := fs.String("project", "default", "project name")
+		dest := fs.String("dest", "/data", "namespace prefix to store under")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() == 0 {
+			return fmt.Errorf("ingest: no files given")
+		}
+		var objs []gateway.IngestObject
+		for _, src := range fs.Args() {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				return err
+			}
+			objs = append(objs, gateway.IngestObject{
+				Path:    strings.TrimSuffix(*dest, "/") + "/" + filepath.Base(src),
+				Project: *project,
+				Data:    data,
+				Basic:   map[string]string{"source": src},
+				Tags:    []string{"raw"},
+			})
+		}
+		res, err := c.Ingest(ctx, objs)
+		if err != nil {
+			return err
+		}
+		for _, r := range res.Results {
+			if r.Error != "" {
+				return fmt.Errorf("ingest %s: %s", r.Path, r.Error)
+			}
+			fmt.Printf("%s  %s  %s\n", r.DatasetID, r.Size.SI(), r.Path)
+		}
+		return nil
+	case "ls":
+		prefix := "/data"
+		if len(rest) > 0 {
+			prefix = rest[0]
+		}
+		infos, err := c.List(ctx, prefix)
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			mark := "-"
+			if info.DatasetID != "" {
+				mark = info.DatasetID + " [" + strings.Join(info.Tags, ",") + "]"
+			}
+			fmt.Printf("%-10s  %-40s  %s\n", info.Size.SI(), info.Path, mark)
+		}
+		return nil
+	case "stat":
+		if len(rest) != 1 {
+			return fmt.Errorf("stat: need PATH")
+		}
+		ds, err := c.Dataset(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("id:       %s\nproject:  %s\npath:     %s\nsize:     %s\nchecksum: %s\ntags:     %s\n",
+			ds.ID, ds.Project, ds.Path, ds.Size.SI(), ds.Checksum, strings.Join(ds.Tags, ","))
+		for _, p := range ds.Processings {
+			fmt.Printf("processing %s: tool=%s results=%v outputs=%v\n", p.ID, p.Tool, p.Results, p.Outputs)
+		}
+		return nil
+	case "tag", "untag":
+		if len(rest) != 2 {
+			return fmt.Errorf("%s: need PATH TAG", cmd)
+		}
+		var err error
+		if cmd == "tag" {
+			_, err = c.Tag(ctx, rest[0], rest[1])
+		} else {
+			_, err = c.Untag(ctx, rest[0], rest[1])
+		}
+		return err
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ContinueOnError)
+		project := fs.String("project", "", "filter by project")
+		tag := fs.String("tag", "", "filter by tag (comma-separated = all required)")
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		q := client.FindQuery{Project: *project}
+		if *tag != "" {
+			q.Tags = strings.Split(*tag, ",")
+		}
+		dss, err := c.Find(ctx, q)
+		if err != nil {
+			return err
+		}
+		for _, ds := range dss {
+			fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
+		}
+		return nil
+	case "tier", "replica", "cache", "export":
+		return fmt.Errorf("%q administers facility-internal state and is local-only; rerun with -state on the facility host", cmd)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
 }
 
 type ctl struct {

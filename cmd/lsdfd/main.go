@@ -1,0 +1,166 @@
+// Command lsdfd is the facility's network front door: one process
+// that assembles a full LSDF (federated namespace, sharded metadata
+// with optional WAL durability, multi-site replication, read cache,
+// analysis cluster) and serves it to remote communities over
+// HTTP/JSON with per-tenant auth, rate limiting and admission
+// control.
+//
+// Quickstart (single tenant):
+//
+//	lsdfd -addr :7420 -tenant bio -token s3cret -data /var/lsdf/objects -wal /var/lsdf/wal
+//	lsdfctl -server http://127.0.0.1:7420 -token s3cret ls /data
+//
+// Multi-tenant: -tenants FILE points at a JSON array of tenant
+// records (see internal/gateway.Tenant):
+//
+//	[{"name":"bio","token":"...","prefixes":["/data/bio"],"rps":200,"max_in_flight":32},
+//	 {"name":"climate","token":"...","prefixes":["/data/climate"]}]
+//
+// SIGTERM/SIGINT drain gracefully: in-flight requests (including
+// streaming reads) finish, new ones get 503 + Retry-After. With -wal
+// set, every ingest acknowledged over HTTP is journaled before the
+// response, so even kill -9 loses nothing that was acked.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/facility"
+	"repro/internal/gateway"
+	"repro/internal/units"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7420", "listen address")
+		tenantsFile = flag.String("tenants", "", "JSON file with tenant records (overrides -tenant/-token)")
+		tenantName  = flag.String("tenant", "lsdf", "single-tenant mode: community name")
+		token       = flag.String("token", "", "single-tenant mode: bearer token (required unless -tenants)")
+		dataDir     = flag.String("data", "", "serve a persistent local directory at /data (default: in-memory only)")
+		walDir      = flag.String("wal", "", "metadata WAL directory (durable acks; created if missing)")
+		sites       = flag.String("sites", "", "comma-separated federation site names (enables /sites)")
+		cacheMem    = flag.Int("cache-mem-mib", 0, "read cache memory budget in MiB (needs -sites)")
+		cacheDisk   = flag.Int("cache-disk-mib", 0, "read cache disk budget in MiB (needs -sites)")
+		cacheDir    = flag.String("cache-dir", "", "read cache disk directory (created if missing)")
+		shards      = flag.Int("shards", 0, "metadata shard count (default 16)")
+		dfsNodes    = flag.Int("dfs-nodes", 8, "analysis cluster datanodes")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+	if err := run(*addr, *tenantsFile, *tenantName, *token, *dataDir, *walDir, *sites,
+		*cacheMem, *cacheDisk, *cacheDir, *shards, *dfsNodes, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdfd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, tenantsFile, tenantName, token, dataDir, walDir, sites string,
+	cacheMem, cacheDisk int, cacheDir string, shards, dfsNodes int, drainTimeout time.Duration) error {
+	tenants, err := loadTenants(tenantsFile, tenantName, token)
+	if err != nil {
+		return err
+	}
+
+	opts := facility.Options{
+		DFSNodes:       dfsNodes,
+		MetadataShards: shards,
+		WALDir:         walDir,
+		AsyncEvents:    true,
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if sites != "" {
+		opts.Sites = splitList(sites)
+		opts.ReadCacheMemory = units.Bytes(cacheMem) * units.MiB
+		opts.ReadCacheDisk = units.Bytes(cacheDisk) * units.MiB
+		if cacheDir != "" {
+			if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+				return err
+			}
+			opts.ReadCacheDir = cacheDir
+		}
+	}
+	fac, err := facility.New(opts)
+	if err != nil {
+		return err
+	}
+	defer fac.Close()
+
+	if dataDir != "" {
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return err
+		}
+		local, err := adal.NewLocalFS("data", dataDir)
+		if err != nil {
+			return err
+		}
+		if err := fac.Layer.Mount("/data", local); err != nil {
+			return err
+		}
+	}
+
+	srv, err := gateway.ForFacility(fac, gateway.Config{
+		Tenants: tenants,
+		Jobs:    gateway.BuiltinJobs(),
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("lsdfd: serving %d tenant(s) on %s (wal=%q sites=%q)", len(tenants), ln.Addr(), walDir, sites)
+	httpSrv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
+	err = srv.ServeDraining(httpSrv, ln, drainTimeout, syscall.SIGTERM, os.Interrupt)
+	if err == nil {
+		log.Printf("lsdfd: drained, shutting down")
+	}
+	return err
+}
+
+func loadTenants(file, name, token string) ([]gateway.Tenant, error) {
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		var tenants []gateway.Tenant
+		if err := json.Unmarshal(data, &tenants); err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", file, err)
+		}
+		if len(tenants) == 0 {
+			return nil, fmt.Errorf("%s: no tenants", file)
+		}
+		return tenants, nil
+	}
+	if token == "" {
+		return nil, fmt.Errorf("either -tenants FILE or -token is required")
+	}
+	// Single-tenant quickstart: full namespace access.
+	return []gateway.Tenant{{Name: name, Token: token, Prefixes: []string{"/"}}}, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

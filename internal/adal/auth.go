@@ -137,15 +137,24 @@ func NewAuthLayer(layer *Layer, authn Authenticator, acl *ACL) *AuthLayer {
 	return &AuthLayer{layer: layer, authn: authn, acl: acl}
 }
 
-func (al *AuthLayer) authorize(c Credentials, path string, perm Permission) error {
+// Authorize authenticates c and checks perm on path, returning the
+// authenticated principal. It is the request-level entry point for
+// network front ends (the lsdfd gateway) that need the identity —
+// for tenancy accounting — alongside the authorization verdict.
+func (al *AuthLayer) Authorize(c Credentials, path string, perm Permission) (Principal, error) {
 	p, err := al.authn.Authenticate(c)
 	if err != nil {
-		return err
+		return Principal{}, err
 	}
 	if !al.acl.Check(p, path, perm) {
-		return fmt.Errorf("%w: %s on %q for %s", ErrDenied, permName(perm), path, p.User)
+		return Principal{}, fmt.Errorf("%w: %s on %q for %s", ErrDenied, permName(perm), path, p.User)
 	}
-	return nil
+	return p, nil
+}
+
+func (al *AuthLayer) authorize(c Credentials, path string, perm Permission) error {
+	_, err := al.Authorize(c, path, perm)
+	return err
 }
 
 func permName(p Permission) string {

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestMain lets this test binary double as E15's ingest child: when
@@ -251,5 +252,58 @@ func TestE15ZeroLostAcked(t *testing.T) {
 	snaps, _ := strconv.Atoi(row("snapshots loaded on recovery"))
 	if replayed == 0 && snaps == 0 {
 		t.Error("recovery touched neither snapshots nor WAL records — the experiment exercised nothing")
+	}
+}
+
+// TestE17GatewayAcceptance pins the front-door acceptance bar: zero
+// failed authorized requests at every admission setting, tenant-fair
+// 429s under deliberate overload (the hog is throttled, the quiet
+// neighbor completes everything), admission control actually
+// exercised at the strict setting, and verified cached-read p99 over
+// HTTP within 2x of the in-process read-cache path.
+func TestE17GatewayAcceptance(t *testing.T) {
+	tbl, err := E17GatewayLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(prefix string) []string {
+		t.Helper()
+		for _, r := range tbl.Rows {
+			if strings.HasPrefix(r[0], prefix) {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing: %v", prefix, tbl.Rows)
+		return nil
+	}
+	// failed is the last column; ops is column 1.
+	for _, phase := range []string{"probe in-process", "probe over HTTP", "fleet strict", "fleet default", "fleet open"} {
+		r := row(phase)
+		if r[7] != "0" {
+			t.Errorf("%s: %s failed requests, want 0", phase, r[7])
+		}
+	}
+	for _, phase := range []string{"fleet strict", "fleet default", "fleet open"} {
+		if r := row(phase); r[1] != "8000" {
+			t.Errorf("%s: completed %s ops, want 8000", phase, r[1])
+		}
+	}
+	ratio, err := strconv.ParseFloat(strings.TrimSuffix(row("probe p99 HTTP vs in-process")[4], "x"), 64)
+	if err != nil || ratio > 2 {
+		t.Errorf("cached-read p99 over HTTP = %sx in-process, want <= 2x", row("probe p99 HTTP vs in-process")[4])
+	}
+	if r := row("fleet strict"); r[6] == "0" {
+		t.Error("strict admission setting rejected nothing; overload was not exercised")
+	}
+	hog, quiet := row("fairness: hog"), row("fairness: quiet")
+	if hog[5] == "0" {
+		t.Error("hog tenant was never throttled")
+	}
+	if quiet[7] != "0" || quiet[5] != "0" {
+		t.Errorf("quiet neighbor suffered for the hog: failed=%s throttled=%s", quiet[7], quiet[5])
+	}
+	p99, err := time.ParseDuration(quiet[4])
+	if err != nil || p99 > 500*time.Millisecond {
+		t.Errorf("quiet neighbor p99 = %s next to a saturating hog, want < 500ms", quiet[4])
 	}
 }

@@ -86,5 +86,6 @@ func All() []Runner {
 		{"E14", "multi-site-replication", E14MultiSiteReplication},
 		{"E15", "durable-metadata", E15DurableMetadata},
 		{"E16", "hot-set-read-cache", E16HotSetReadCache},
+		{"E17", "gateway-load", E17GatewayLoad},
 	}
 }

@@ -1,0 +1,125 @@
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/facility"
+	"repro/internal/gateway"
+	"repro/internal/gateway/client"
+	"repro/internal/units"
+)
+
+func benchStore(b *testing.B, fac *facility.Facility, path string, size int) []byte {
+	b.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	w, err := fac.Layer.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+func benchSetup(b *testing.B, fopts facility.Options) (*facility.Facility, *client.Client) {
+	b.Helper()
+	fac, _, hs := startGateway(b, fopts, gateway.Config{Tenants: []gateway.Tenant{{
+		Name: "bench", Token: "bench-token", Prefixes: []string{"/"},
+		RPS: 1e9, Burst: 1 << 30, MaxInFlight: 1 << 20,
+	}}})
+	return fac, newClient(b, hs, "bench-token", client.Options{MaxRetries: -1})
+}
+
+// BenchmarkGatewayReadSmall is the metadata-dominated read: a 64 KiB
+// object where per-request HTTP cost is the term being measured.
+func BenchmarkGatewayReadSmall(b *testing.B) {
+	fac, c := benchSetup(b, facility.Options{Sites: []string{"near"}})
+	benchStore(b, fac, "/sites/bench/small", int(64*units.KiB))
+	ctx := context.Background()
+	b.SetBytes(int64(64 * units.KiB))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadObject(ctx, "/sites/bench/small"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayReadCachedLarge streams a 2 MiB object served from
+// the read cache's memory tier — the bandwidth-bound path the E17
+// probe bounds at 2x of in-process.
+func BenchmarkGatewayReadCachedLarge(b *testing.B) {
+	fac, c := benchSetup(b, facility.Options{
+		Sites: []string{"far1"}, ReadCacheMemory: 16 * units.MiB,
+	})
+	benchStore(b, fac, "/sites/bench/large", int(2*units.MiB))
+	ctx := context.Background()
+	buf := make([]byte, int(2*units.MiB))
+	read := func() {
+		rc, err := c.Get(ctx, "/sites/bench/large")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.ReadFull(rc, buf); err != nil {
+			b.Fatal(err)
+		}
+		rc.Close()
+	}
+	read() // warm the cache
+	b.SetBytes(int64(2 * units.MiB))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		read()
+	}
+}
+
+// BenchmarkGatewayStat is the pure-metadata request: no payload, the
+// floor for any gateway round trip.
+func BenchmarkGatewayStat(b *testing.B) {
+	fac, c := benchSetup(b, facility.Options{Sites: []string{"near"}})
+	benchStore(b, fac, "/sites/bench/stat-me", 4096)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stat(ctx, "/sites/bench/stat-me"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGatewayIngest is the durable write path: one 4 KiB object
+// per request, stored and registered in the metadata store.
+func BenchmarkGatewayIngest(b *testing.B) {
+	_, c := benchSetup(b, facility.Options{Sites: []string{"near"}})
+	ctx := context.Background()
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Ingest(ctx, []gateway.IngestObject{{
+			Path:    fmt.Sprintf("/sites/bench/ingest-%08d.raw", i),
+			Project: "bench",
+			Data:    data,
+		}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Registered != 1 {
+			b.Fatalf("not registered: %+v", res.Results)
+		}
+	}
+}

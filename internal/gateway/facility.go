@@ -1,0 +1,19 @@
+package gateway
+
+import (
+	"repro/internal/facility"
+)
+
+// ForFacility wires a gateway over an assembled facility: the
+// facility's federated namespace (with whatever tier, replication
+// federation and read cache its Options enabled), its metadata store,
+// and its analysis cluster behind /v1/jobs. This is what cmd/lsdfd
+// serves.
+func ForFacility(f *facility.Facility, cfg Config) (*Server, error) {
+	cfg.Layer = f.Layer
+	cfg.Meta = f.Meta
+	if cfg.RunJob == nil {
+		cfg.RunJob = f.RunJob
+	}
+	return New(cfg)
+}

@@ -1,0 +1,889 @@
+// Package gateway is the facility's network front door: the lsdfd
+// service exposing the LSDF over HTTP/JSON with streamed object
+// bodies. Everything the paper's communities do against the facility
+// in-process — ADAL namespace reads and writes, metadata queries,
+// batched DAQ ingest, MapReduce job submission — is reachable here
+// over the wire, authenticated per community with bearer tokens on
+// the adal Authenticator/ACL machinery.
+//
+// The front door is multi-tenant by construction. Every request is
+// authenticated first, then charged against its tenant's token
+// bucket (429 + Retry-After when the bucket is dry) and admitted
+// against its tenant's in-flight bound (503 + Retry-After when the
+// tenant already holds its share of handlers), so one community
+// saturating its rate cannot starve another's admission slots.
+// Object bodies stream: reads are paced by the client's socket
+// (connection-level backpressure) with a per-chunk write deadline so
+// a stalled client cannot hold a handler forever, and writes are
+// read at the server's pace with the same per-chunk guard. Drain
+// flips the server into shutdown mode: new requests get 503 while
+// in-flight responses run to completion — the graceful half of the
+// crash story whose other half is the metadata WAL (kill -9 of lsdfd
+// loses no acknowledged dataset; see the drain tests).
+//
+// Every error, on every path — including unknown routes, bad
+// methods, oversized bodies and handler panics — is a JSON envelope
+// {"error":{"code","status","message"}}; the FuzzGatewayRequest
+// contract. See DESIGN.md §11 for the architecture and the API
+// reference.
+package gateway
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"path"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/mapreduce"
+	"repro/internal/metadata"
+	"repro/internal/units"
+)
+
+// Config assembles a gateway over a running facility's parts.
+type Config struct {
+	// Layer is the facility namespace every object operation resolves
+	// through (required).
+	Layer *adal.Layer
+	// Meta is the project metadata DB (required).
+	Meta *metadata.Store
+	// Tenants declares the communities and their limits. The gateway
+	// builds a TokenAuth and ACL from them unless Auth/ACL are set.
+	Tenants []Tenant
+	// Auth overrides the tenant-built authenticator (pluggable
+	// mechanisms, per the paper). Principals authenticated by a
+	// custom Auth are metered under default tenant limits.
+	Auth adal.Authenticator
+	// ACL overrides the tenant-built ACL.
+	ACL *adal.ACL
+	// RunJob executes a MapReduce job (facility.RunJob); nil disables
+	// the /v1/jobs endpoints with 501.
+	RunJob func(mapreduce.Config) (*mapreduce.Result, error)
+	// Jobs maps submittable job names to builders (default
+	// BuiltinJobs).
+	Jobs map[string]JobBuilder
+	// MaxJSONBody caps JSON request bodies — ingest batches, job
+	// submissions (default 8 MiB).
+	MaxJSONBody units.Bytes
+	// StreamChunkTimeout is the per-chunk socket deadline on streamed
+	// bodies: a client that reads (or writes) nothing for this long
+	// loses its connection (default 30s).
+	StreamChunkTimeout time.Duration
+	// DrainRetryAfter is the Retry-After hint on drain/admission 503s
+	// (default 1s).
+	DrainRetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxJSONBody <= 0 {
+		c.MaxJSONBody = 8 * units.MiB
+	}
+	if c.StreamChunkTimeout <= 0 {
+		c.StreamChunkTimeout = 30 * time.Second
+	}
+	if c.DrainRetryAfter <= 0 {
+		c.DrainRetryAfter = time.Second
+	}
+	if c.Jobs == nil {
+		c.Jobs = BuiltinJobs()
+	}
+	return c
+}
+
+// Server is the lsdfd HTTP front door. It implements http.Handler;
+// wrap it in an http.Server (or httptest) to serve.
+type Server struct {
+	cfg   Config
+	authn adal.Authenticator
+	acl   *adal.ACL
+	al    *adal.AuthLayer
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+
+	jobsMu sync.Mutex
+	jobSeq int64
+	jobs   map[string]*jobState
+}
+
+// New builds a gateway. Layer and Meta are required; Tenants (or a
+// custom Auth/ACL pair) define who may call it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Layer == nil || cfg.Meta == nil {
+		return nil, fmt.Errorf("gateway: Layer and Meta are required")
+	}
+	authn := cfg.Auth
+	acl := cfg.ACL
+	if authn == nil {
+		ta := adal.NewTokenAuth()
+		for _, t := range cfg.Tenants {
+			t = t.withDefaults()
+			ta.Register(t.Token, adal.Principal{User: t.Name, Groups: []string{t.Name}})
+		}
+		authn = ta
+	}
+	if acl == nil {
+		acl = adal.NewACL()
+		for _, t := range cfg.Tenants {
+			t = t.withDefaults()
+			for _, p := range t.Prefixes {
+				acl.Allow(t.Name, p, adal.PermRead|adal.PermWrite)
+			}
+			for _, p := range t.ReadPrefixes {
+				acl.Allow(t.Name, p, adal.PermRead)
+			}
+		}
+	}
+	s := &Server{
+		cfg:     cfg,
+		authn:   authn,
+		acl:     acl,
+		al:      adal.NewAuthLayer(cfg.Layer, authn, acl),
+		tenants: make(map[string]*tenantState),
+		jobs:    make(map[string]*jobState),
+	}
+	for _, t := range cfg.Tenants {
+		t = t.withDefaults()
+		s.tenants[t.Name] = newTenantState(t)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/objects/{path...}", s.getObject)
+	mux.HandleFunc("PUT /v1/objects/{path...}", s.putObject)
+	mux.HandleFunc("DELETE /v1/objects/{path...}", s.deleteObject)
+	mux.HandleFunc("GET /v1/stat/{path...}", s.statObject)
+	mux.HandleFunc("GET /v1/list", s.list)
+	mux.HandleFunc("GET /v1/datasets", s.findDatasets)
+	mux.HandleFunc("GET /v1/dataset", s.datasetByPath)
+	mux.HandleFunc("POST /v1/datasets/tag", s.tagDataset)
+	mux.HandleFunc("POST /v1/datasets/untag", s.tagDataset)
+	mux.HandleFunc("POST /v1/ingest", s.ingest)
+	mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Drain flips the server into shutdown: every new request — on new
+// or kept-alive connections — is rejected with a 503 envelope and
+// Retry-After, while requests already admitted run to completion.
+// It returns once the last in-flight request finishes, or with the
+// context's error if they outlast it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// Poll the in-flight count rather than Wait on a WaitGroup: new
+	// requests keep arriving (to be 503ed) while we wait, and
+	// WaitGroup forbids Add concurrent with Wait across a zero
+	// counter. 1ms granularity is nothing on a shutdown path.
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats snapshots every tenant's traffic counters.
+func (s *Server) Stats() map[string]TenantStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]TenantStats, len(s.tenants))
+	for name, ts := range s.tenants {
+		out[name] = ts.stats()
+	}
+	return out
+}
+
+// tenantFor returns the limit/metering state for an authenticated
+// principal, creating a default-limits entry for principals minted
+// by a custom Authenticator.
+func (s *Server) tenantFor(p adal.Principal) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ts, ok := s.tenants[p.User]
+	if !ok {
+		ts = newTenantState(Tenant{Name: p.User})
+		s.tenants[p.User] = ts
+	}
+	return ts
+}
+
+// authInfo rides the request context from the front-door middleware
+// to the handlers.
+type authInfo struct {
+	creds     adal.Credentials
+	principal adal.Principal
+	tenant    *tenantState
+}
+
+type ctxKey struct{}
+
+func reqAuth(r *http.Request) *authInfo {
+	ai, _ := r.Context().Value(ctxKey{}).(*authInfo)
+	return ai
+}
+
+// ServeHTTP is the front door: panic containment, drain gate,
+// authentication, rate limit, admission — then the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ew := &envelopeWriter{rw: w}
+	defer func() {
+		if p := recover(); p != nil {
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			if !ew.wroteHeader {
+				writeErr(ew, http.StatusInternalServerError, "internal", fmt.Sprintf("panic: %v", p))
+				return
+			}
+			// Mid-stream panic: the envelope ship has sailed; kill
+			// the connection rather than serve a truncated body as
+			// success.
+			panic(http.ErrAbortHandler)
+		}
+	}()
+
+	if r.URL.Path == "/v1/healthz" {
+		if s.draining.Load() {
+			writeErr(ew, http.StatusServiceUnavailable, "draining", "lsdfd is draining")
+			return
+		}
+		writeJSON(ew, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+
+	// Requests are counted before the drain re-check, so Drain's wait
+	// covers every request that slipped past the flag.
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	if s.draining.Load() {
+		retryAfter(ew, s.cfg.DrainRetryAfter)
+		writeErr(ew, http.StatusServiceUnavailable, "draining", "lsdfd is draining; retry against another instance")
+		return
+	}
+
+	creds := credentials(r)
+	principal, err := s.authn.Authenticate(creds)
+	if err != nil {
+		writeErr(ew, http.StatusUnauthorized, "unauthenticated", err.Error())
+		return
+	}
+	tenant := s.tenantFor(principal)
+	if ok, retry := tenant.allow(time.Now()); !ok {
+		tenant.throttled.Add(1)
+		retryAfter(ew, retry)
+		writeErr(ew, http.StatusTooManyRequests, "rate_limited",
+			fmt.Sprintf("tenant %s over its request rate", tenant.name))
+		return
+	}
+	if !tenant.admit() {
+		tenant.rejected.Add(1)
+		retryAfter(ew, s.cfg.DrainRetryAfter)
+		writeErr(ew, http.StatusServiceUnavailable, "overloaded",
+			fmt.Sprintf("tenant %s at its in-flight limit", tenant.name))
+		return
+	}
+	defer tenant.release()
+	tenant.requests.Add(1)
+
+	ai := &authInfo{creds: creds, principal: principal, tenant: tenant}
+	s.mux.ServeHTTP(ew, r.WithContext(context.WithValue(r.Context(), ctxKey{}, ai)))
+}
+
+// credentials extracts the bearer token (and optional user binding)
+// from the request.
+func credentials(r *http.Request) adal.Credentials {
+	c := adal.Credentials{User: r.Header.Get("X-LSDF-User")}
+	if h := r.Header.Get("Authorization"); strings.HasPrefix(h, "Bearer ") {
+		c.Token = strings.TrimPrefix(h, "Bearer ")
+	}
+	return c
+}
+
+// reqPath canonicalizes the {path...} wildcard into an absolute
+// federated path; Clean folds any ../ escape attempts.
+func reqPath(r *http.Request) string {
+	return path.Clean("/" + r.PathValue("path"))
+}
+
+// ---- object endpoints -------------------------------------------------
+
+func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	fp := reqPath(r)
+	if _, err := s.al.Authorize(ai.creds, fp, adal.PermRead); err != nil {
+		s.fail(w, err)
+		return
+	}
+	info, err := s.cfg.Layer.Stat(fp)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	rc, err := s.cfg.Layer.Open(fp)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer rc.Close()
+
+	size := int64(info.Size)
+	start, length := int64(0), size
+	status := http.StatusOK
+	if rng := r.Header.Get("Range"); rng != "" {
+		st, ln, ok := parseRange(rng, size)
+		if !ok {
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+			writeErr(w, http.StatusRequestedRangeNotSatisfiable, "bad_range", "unsatisfiable range "+rng)
+			return
+		}
+		if st >= 0 { // -1 = malformed, ignored per RFC 7233: serve the full body
+			start, length = st, ln
+			status = http.StatusPartialContent
+			w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", start, start+length-1, size))
+		}
+	}
+	// The reader comes out of the mount stack (read cache, federation,
+	// tier) positioned at 0; a range read discards up to the offset —
+	// cache hits make that a memory skip, not a WAN one.
+	if start > 0 {
+		if _, err := io.CopyN(io.Discard, rc, start); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	w.Header().Set("X-LSDF-Object-Size", strconv.FormatInt(size, 10))
+	w.WriteHeader(status)
+	n, _ := s.copyStream(w, io.LimitReader(rc, length), writeDeadline(w, s.cfg.StreamChunkTimeout))
+	ai.tenant.bytesOut.Add(n)
+}
+
+func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	fp := reqPath(r)
+	if _, err := s.al.Authorize(ai.creds, fp, adal.PermWrite); err != nil {
+		s.fail(w, err)
+		return
+	}
+	wc, err := s.cfg.Layer.Create(fp)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	h := sha256.New()
+	n, err := s.copyStream(io.MultiWriter(wc, h), r.Body, readDeadline(w, s.cfg.StreamChunkTimeout))
+	ai.tenant.bytesIn.Add(n)
+	if err == nil {
+		err = wc.Close()
+	} else {
+		wc.Close()
+	}
+	if err != nil {
+		_ = s.cfg.Layer.Remove(fp) // never leave a half-written object
+		writeErr(w, http.StatusBadRequest, "write_failed", err.Error())
+		return
+	}
+	res := PutResult{Path: fp, Size: units.Bytes(n), SHA256: hex.EncodeToString(h.Sum(nil))}
+
+	// ?project= registers the stored object as a dataset in the same
+	// request — tags atomically, and durably when the store journals
+	// (the response is the registration's group-commit ack).
+	if project := r.URL.Query().Get("project"); project != "" {
+		spec := metadata.CreateSpec{
+			Project:  project,
+			Path:     fp,
+			Size:     res.Size,
+			Checksum: res.SHA256,
+			Tags:     splitList(r.URL.Query().Get("tags")),
+		}
+		cr := s.cfg.Meta.CreateBatch([]metadata.CreateSpec{spec})[0]
+		if cr.Err != nil {
+			_ = s.cfg.Layer.Remove(fp)
+			s.fail(w, cr.Err)
+			return
+		}
+		res.DatasetID = cr.Dataset.ID
+	}
+	writeJSON(w, http.StatusCreated, res)
+}
+
+func (s *Server) deleteObject(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	fp := reqPath(r)
+	if _, err := s.al.Authorize(ai.creds, fp, adal.PermWrite); err != nil {
+		s.fail(w, err)
+		return
+	}
+	res := RemoveResult{Path: fp}
+	if ds, ok := s.cfg.Meta.ByPath(fp); ok {
+		if err := s.cfg.Meta.Delete(ds.ID); err != nil {
+			s.fail(w, err)
+			return
+		}
+		res.DatasetID = ds.ID
+	}
+	if err := s.cfg.Layer.Remove(fp); err != nil {
+		s.fail(w, err)
+		return
+	}
+	res.Removed = true
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) statObject(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	fp := reqPath(r)
+	if _, err := s.al.Authorize(ai.creds, fp, adal.PermRead); err != nil {
+		s.fail(w, err)
+		return
+	}
+	info, err := s.cfg.Layer.Stat(fp)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.objectInfo(info))
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	prefix := r.URL.Query().Get("prefix")
+	if prefix == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", "missing ?prefix=")
+		return
+	}
+	if _, err := s.al.Authorize(ai.creds, prefix, adal.PermRead); err != nil {
+		s.fail(w, err)
+		return
+	}
+	infos, err := s.cfg.Layer.List(prefix)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	// Defense in depth for shared parents: an entry the ACL does not
+	// grant this principal never crosses the wire, so List can never
+	// leak another community's namespace.
+	out := make([]ObjectInfo, 0, len(infos))
+	for _, info := range infos {
+		if !s.acl.Check(ai.principal, info.Path, adal.PermRead) {
+			continue
+		}
+		out = append(out, s.objectInfo(info))
+	}
+	writeJSON(w, http.StatusOK, ListResult{Objects: out})
+}
+
+func (s *Server) objectInfo(info adal.FileInfo) ObjectInfo {
+	oi := ObjectInfo{Path: info.Path, Size: info.Size, ModTime: info.ModTime, IsDir: info.IsDir}
+	if ds, ok := s.cfg.Meta.ByPath(info.Path); ok {
+		oi.DatasetID = ds.ID
+		oi.Project = ds.Project
+		oi.Tags = ds.Tags
+		oi.Checksum = ds.Checksum
+	}
+	return oi
+}
+
+// ---- metadata endpoints -----------------------------------------------
+
+func (s *Server) findDatasets(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	q := r.URL.Query()
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad_request", "bad ?limit=")
+			return
+		}
+		limit = n
+	}
+	query := metadata.Query{
+		Project:    q.Get("project"),
+		Tags:       splitList(q.Get("tag")),
+		PathPrefix: q.Get("prefix"),
+	}
+	matches := s.cfg.Meta.Find(query)
+	out := make([]metadata.Dataset, 0, len(matches))
+	for _, ds := range matches {
+		if !s.acl.Check(ai.principal, ds.Path, adal.PermRead) {
+			continue
+		}
+		out = append(out, ds)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, DatasetsResult{Datasets: out})
+}
+
+func (s *Server) datasetByPath(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	fp := r.URL.Query().Get("path")
+	if fp == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", "missing ?path=")
+		return
+	}
+	if _, err := s.al.Authorize(ai.creds, fp, adal.PermRead); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ds, ok := s.cfg.Meta.ByPath(fp)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "no dataset at "+fp)
+		return
+	}
+	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) tagDataset(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	var req TagRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if _, err := s.al.Authorize(ai.creds, req.Path, adal.PermWrite); err != nil {
+		s.fail(w, err)
+		return
+	}
+	ds, ok := s.cfg.Meta.ByPath(req.Path)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "not_found", "no dataset at "+req.Path)
+		return
+	}
+	var err error
+	if strings.HasSuffix(r.URL.Path, "/untag") {
+		err = s.cfg.Meta.Untag(ds.ID, req.Tag)
+	} else {
+		err = s.cfg.Meta.Tag(ds.ID, req.Tag)
+	}
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	ds, _ = s.cfg.Meta.Get(ds.ID)
+	writeJSON(w, http.StatusOK, ds)
+}
+
+func (s *Server) ingest(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	var req IngestRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Objects) == 0 {
+		writeErr(w, http.StatusBadRequest, "bad_request", "empty ingest batch")
+		return
+	}
+	results := make([]IngestObjectResult, len(req.Objects))
+	// Store every authorized object first, then register the stored
+	// ones in one CreateBatch — the PR 1 bulk path, one shard-lock
+	// round (and with a WAL, one group commit) per touched shard.
+	// Registration failures remove their stored object: no object is
+	// ever stored-but-unregistered ("invisible data is lost data").
+	var specs []metadata.CreateSpec
+	var specIdx []int
+	for i, obj := range req.Objects {
+		fp := path.Clean("/" + strings.TrimPrefix(obj.Path, "/"))
+		results[i].Path = fp
+		if _, err := s.al.Authorize(ai.creds, fp, adal.PermWrite); err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		wc, err := s.cfg.Layer.Create(fp)
+		if err != nil {
+			results[i].Error = err.Error()
+			continue
+		}
+		h := sha256.New()
+		h.Write(obj.Data)
+		_, werr := wc.Write(obj.Data)
+		if cerr := wc.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			_ = s.cfg.Layer.Remove(fp)
+			results[i].Error = werr.Error()
+			continue
+		}
+		ai.tenant.bytesIn.Add(int64(len(obj.Data)))
+		results[i].Size = units.Bytes(len(obj.Data))
+		results[i].SHA256 = hex.EncodeToString(h.Sum(nil))
+		specs = append(specs, metadata.CreateSpec{
+			Project:  obj.Project,
+			Path:     fp,
+			Size:     results[i].Size,
+			Checksum: results[i].SHA256,
+			Basic:    obj.Basic,
+			Tags:     obj.Tags,
+		})
+		specIdx = append(specIdx, i)
+	}
+	registered := 0
+	if len(specs) > 0 {
+		for j, cr := range s.cfg.Meta.CreateBatch(specs) {
+			i := specIdx[j]
+			if cr.Err != nil {
+				_ = s.cfg.Layer.Remove(results[i].Path)
+				results[i].Error = cr.Err.Error()
+				results[i].Size = 0
+				results[i].SHA256 = ""
+				continue
+			}
+			results[i].DatasetID = cr.Dataset.ID
+			registered++
+		}
+	}
+	writeJSON(w, http.StatusOK, IngestResult{Results: results, Registered: registered})
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	writeJSON(w, http.StatusOK, MetricsResult{
+		Tenant:   ai.tenant.name,
+		Stats:    ai.tenant.stats(),
+		Draining: s.draining.Load(),
+	})
+}
+
+// ---- plumbing ---------------------------------------------------------
+
+// decodeJSON reads a bounded JSON body into v, writing the error
+// envelope itself when it fails.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxJSONBody))
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeErr(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("JSON body over %s", s.cfg.MaxJSONBody.SI()))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, "bad_json", err.Error())
+		return false
+	}
+	return true
+}
+
+// fail maps backend errors onto the wire contract.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, adal.ErrDenied):
+		writeErr(w, http.StatusForbidden, "denied", err.Error())
+	case errors.Is(err, adal.ErrNotFound), errors.Is(err, metadata.ErrNotFound),
+		errors.Is(err, adal.ErrNoMount):
+		writeErr(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, adal.ErrExists), errors.Is(err, metadata.ErrDuplicate):
+		writeErr(w, http.StatusConflict, "conflict", err.Error())
+	default:
+		writeErr(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+// copyStream moves a body chunk by chunk through a pooled buffer,
+// arming the socket deadline before every chunk: the transfer runs
+// at the slower end's pace (connection-level backpressure), but a
+// peer that stalls completely is cut off after StreamChunkTimeout.
+func (s *Server) copyStream(dst io.Writer, src io.Reader, deadline func() error) (int64, error) {
+	bp := streamBufPool.Get().(*[]byte)
+	defer streamBufPool.Put(bp)
+	buf := *bp
+	var total int64
+	for {
+		if err := deadline(); err != nil && !errors.Is(err, http.ErrNotSupported) {
+			return total, err
+		}
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			wn, werr := dst.Write(buf[:n])
+			total += int64(wn)
+			if werr != nil {
+				return total, werr
+			}
+		}
+		if rerr == io.EOF {
+			return total, nil
+		}
+		if rerr != nil {
+			return total, rerr
+		}
+	}
+}
+
+var streamBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 128*1024)
+		return &b
+	},
+}
+
+func writeDeadline(w http.ResponseWriter, d time.Duration) func() error {
+	rc := http.NewResponseController(w)
+	return func() error { return rc.SetWriteDeadline(time.Now().Add(d)) }
+}
+
+func readDeadline(w http.ResponseWriter, d time.Duration) func() error {
+	rc := http.NewResponseController(w)
+	return func() error { return rc.SetReadDeadline(time.Now().Add(d)) }
+}
+
+// parseRange interprets a single-range "bytes=a-b" header against
+// size. It returns (-1, 0, true) for malformed specs (RFC 7233:
+// ignore and serve the whole body) and ok=false for a well-formed
+// but unsatisfiable range.
+func parseRange(spec string, size int64) (start, length int64, ok bool) {
+	const pfx = "bytes="
+	if !strings.HasPrefix(spec, pfx) || strings.Contains(spec, ",") {
+		return -1, 0, true
+	}
+	lo, hi, found := strings.Cut(strings.TrimPrefix(spec, pfx), "-")
+	if !found {
+		return -1, 0, true
+	}
+	if lo == "" { // suffix range: last N bytes
+		n, err := strconv.ParseInt(hi, 10, 64)
+		if err != nil || n <= 0 {
+			return -1, 0, true
+		}
+		if n > size {
+			n = size
+		}
+		return size - n, n, true
+	}
+	st, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil || st < 0 {
+		return -1, 0, true
+	}
+	if st >= size {
+		return 0, 0, false
+	}
+	end := size - 1
+	if hi != "" {
+		e, err := strconv.ParseInt(hi, 10, 64)
+		if err != nil || e < st {
+			return -1, 0, true
+		}
+		if e < end {
+			end = e
+		}
+	}
+	return st, end - st + 1, true
+}
+
+func retryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64(d / time.Second)
+	if d%time.Second != 0 || secs == 0 {
+		secs++
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("X-LSDF-Retry-After-Ms", strconv.FormatInt(int64(d/time.Millisecond)+1, 10))
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorEnvelope{Error: ErrorBody{Code: code, Status: status, Message: msg}})
+}
+
+// envelopeWriter guarantees the JSON-error contract for responses the
+// handlers never see: the mux's own 404/405 text bodies (and any
+// stray http.Error) are replaced by the canonical envelope.
+type envelopeWriter struct {
+	rw           http.ResponseWriter
+	wroteHeader  bool
+	suppressBody bool
+}
+
+func (ew *envelopeWriter) Header() http.Header { return ew.rw.Header() }
+
+func (ew *envelopeWriter) WriteHeader(code int) {
+	if ew.wroteHeader {
+		return
+	}
+	ew.wroteHeader = true
+	ct := ew.rw.Header().Get("Content-Type")
+	if code >= 400 && !strings.HasPrefix(ct, "application/json") {
+		ew.suppressBody = true
+		slug := strings.ReplaceAll(strings.ToLower(http.StatusText(code)), " ", "_")
+		body, _ := json.Marshal(ErrorEnvelope{Error: ErrorBody{
+			Code: slug, Status: code, Message: http.StatusText(code),
+		}})
+		body = append(body, '\n')
+		ew.rw.Header().Set("Content-Type", "application/json")
+		ew.rw.Header().Del("X-Content-Type-Options")
+		ew.rw.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		ew.rw.WriteHeader(code)
+		_, _ = ew.rw.Write(body)
+		return
+	}
+	ew.rw.WriteHeader(code)
+}
+
+func (ew *envelopeWriter) Write(p []byte) (int, error) {
+	if !ew.wroteHeader {
+		ew.WriteHeader(http.StatusOK)
+	}
+	if ew.suppressBody {
+		return len(p), nil
+	}
+	return ew.rw.Write(p)
+}
+
+// Flush keeps streamed responses streaming through the wrapper.
+func (ew *envelopeWriter) Flush() {
+	if f, ok := ew.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the real connection
+// for the per-chunk deadlines.
+func (ew *envelopeWriter) Unwrap() http.ResponseWriter { return ew.rw }

@@ -1,0 +1,222 @@
+package gateway
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adal"
+	"repro/internal/mapreduce"
+)
+
+// Map and reduce functions are Go code — they cannot cross the wire.
+// What crosses the wire is a job *name* resolved against a server-side
+// template registry, Hadoop-streaming style: the operator registers
+// the community's analysis programs once, and experiments submit
+// (name, inputs, output, args) tuples. JobBuilder turns one request
+// into a runnable config; the server then fills in Inputs/OutputDir/
+// NumReducers from the request and hands it to Config.RunJob.
+type JobBuilder func(req JobRequest) (mapreduce.Config, error)
+
+// BuiltinJobs is the default template registry: the generic text
+// analyses every facility offers. Facility-specific jobs (k-mer
+// counting, MIP visualization) are registered alongside by the
+// operator.
+func BuiltinJobs() map[string]JobBuilder {
+	return map[string]JobBuilder{
+		"wordcount": func(JobRequest) (mapreduce.Config, error) {
+			return mapreduce.Config{
+				Mapper: mapreduce.MapperFunc(func(_ string, value []byte, emit mapreduce.Emit) error {
+					for _, f := range bytes.Fields(value) {
+						emit(string(f), one)
+					}
+					return nil
+				}),
+				Combiner: sumReducer(),
+				Reducer:  sumReducer(),
+				Format:   mapreduce.TextInput,
+				Locality: true,
+			}, nil
+		},
+		"linecount": func(JobRequest) (mapreduce.Config, error) {
+			return mapreduce.Config{
+				Mapper: mapreduce.MapperFunc(func(_ string, _ []byte, emit mapreduce.Emit) error {
+					emit("lines", one)
+					return nil
+				}),
+				Combiner: sumReducer(),
+				Reducer:  sumReducer(),
+				Format:   mapreduce.TextInput,
+				Locality: true,
+			}, nil
+		},
+		"grep": func(req JobRequest) (mapreduce.Config, error) {
+			pattern := req.Args["pattern"]
+			if pattern == "" {
+				return mapreduce.Config{}, fmt.Errorf("grep needs args.pattern")
+			}
+			pat := []byte(pattern)
+			return mapreduce.Config{
+				Mapper: mapreduce.MapperFunc(func(key string, value []byte, emit mapreduce.Emit) error {
+					if bytes.Contains(value, pat) {
+						emit(key, value)
+					}
+					return nil
+				}),
+				Format:   mapreduce.TextInput,
+				MapOnly:  true,
+				Locality: true,
+			}, nil
+		},
+	}
+}
+
+var one = []byte("1")
+
+func sumReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values [][]byte, emit mapreduce.Emit) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(string(bytes.TrimSpace(v)))
+			if err != nil {
+				return fmt.Errorf("non-numeric count for %q: %w", key, err)
+			}
+			total += n
+		}
+		emit(key, []byte(strconv.Itoa(total)))
+		return nil
+	})
+}
+
+// jobState tracks one submitted job; mutated only under Server.jobsMu.
+type jobState struct {
+	id       string
+	job      string
+	tenant   string
+	state    string
+	started  time.Time
+	finished time.Time
+	errMsg   string
+	result   *mapreduce.Result
+}
+
+func (j *jobState) status() JobStatus {
+	st := JobStatus{ID: j.id, Job: j.job, Tenant: j.tenant, State: j.state, Error: j.errMsg}
+	if j.state != JobRunning {
+		st.DurationMS = j.finished.Sub(j.started).Milliseconds()
+	}
+	if j.result != nil {
+		st.Counters = j.result.Counters
+		st.OutputFiles = j.result.OutputFiles
+	}
+	return st
+}
+
+func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	if s.cfg.RunJob == nil {
+		writeErr(w, http.StatusNotImplemented, "jobs_disabled", "this lsdfd has no analysis cluster")
+		return
+	}
+	var req JobRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if len(req.Inputs) == 0 || req.OutputDir == "" {
+		writeErr(w, http.StatusBadRequest, "bad_request", "job needs inputs and output_dir")
+		return
+	}
+	builder, ok := s.cfg.Jobs[req.Job]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown_job", fmt.Sprintf("no job template %q", req.Job))
+		return
+	}
+	// Jobs run on the analysis cluster: inputs and outputs are DFS
+	// paths, authorized against their /hdfs addresses so the ACL
+	// grants that govern direct reads govern job access too.
+	for _, in := range req.Inputs {
+		if _, err := s.al.Authorize(ai.creds, "/hdfs"+in, adal.PermRead); err != nil {
+			s.fail(w, err)
+			return
+		}
+	}
+	if _, err := s.al.Authorize(ai.creds, "/hdfs"+req.OutputDir, adal.PermWrite); err != nil {
+		s.fail(w, err)
+		return
+	}
+	cfg, err := builder(req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+		return
+	}
+	cfg.Name = req.Job
+	cfg.Inputs = req.Inputs
+	cfg.OutputDir = req.OutputDir
+	if req.NumReducers > 0 {
+		cfg.NumReducers = req.NumReducers
+	}
+
+	s.jobsMu.Lock()
+	s.jobSeq++
+	js := &jobState{
+		id:      fmt.Sprintf("j-%06d", s.jobSeq),
+		job:     req.Job,
+		tenant:  ai.tenant.name,
+		state:   JobRunning,
+		started: time.Now(),
+	}
+	s.jobs[js.id] = js
+	s.jobsMu.Unlock()
+
+	go func() {
+		res, err := s.cfg.RunJob(cfg)
+		s.jobsMu.Lock()
+		defer s.jobsMu.Unlock()
+		js.finished = time.Now()
+		if err != nil {
+			js.state = JobFailed
+			js.errMsg = err.Error()
+			return
+		}
+		js.state = JobDone
+		js.result = res
+	}()
+	writeJSON(w, http.StatusAccepted, JobStatus{ID: js.id, Job: js.job, Tenant: js.tenant, State: JobRunning})
+}
+
+func (s *Server) jobStatus(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	id := r.PathValue("id")
+	s.jobsMu.Lock()
+	js, ok := s.jobs[id]
+	var st JobStatus
+	if ok {
+		st = js.status()
+	}
+	s.jobsMu.Unlock()
+	// Another tenant's job ID behaves like a missing one: job
+	// existence is tenant-private.
+	if !ok || st.Tenant != ai.tenant.name {
+		writeErr(w, http.StatusNotFound, "not_found", "no job "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	ai := reqAuth(r)
+	s.jobsMu.Lock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	for _, js := range s.jobs {
+		if js.tenant == ai.tenant.name {
+			out = append(out, js.status())
+		}
+	}
+	s.jobsMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return strings.Compare(out[i].ID, out[j].ID) < 0 })
+	writeJSON(w, http.StatusOK, JobsResult{Jobs: out})
+}

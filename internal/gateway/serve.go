@@ -1,0 +1,54 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// ServeDraining serves httpSrv (handler defaults to s) on ln until a
+// listed signal arrives, then performs the lsdfd shutdown contract:
+// the gateway drains first — new requests, including ones arriving
+// on kept-alive connections, get 503 + Retry-After while in-flight
+// streamed responses run to completion — and the HTTP server then
+// shuts down its listeners and idle connections. Both phases share
+// the drainTimeout budget; requests still running when it expires
+// are abandoned to the process exit (the metadata WAL makes that
+// safe for acknowledged work). It returns nil after a clean drain.
+//
+// cmd/lsdfd and the cross-process drain tests run this same path, so
+// the signal wiring under test is the production wiring.
+func (s *Server) ServeDraining(httpSrv *http.Server, ln net.Listener, drainTimeout time.Duration, signals ...os.Signal) error {
+	if httpSrv.Handler == nil {
+		httpSrv.Handler = s
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, signals...)
+	defer signal.Stop(sigc)
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-sigc:
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		// Drain before Shutdown: the 503 gate must be up before the
+		// listener closes, so load balancers retrying against other
+		// instances see an orderly refusal, not a connection reset.
+		drainErr := s.Drain(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return drainErr
+	}
+}
