@@ -1,0 +1,77 @@
+// Command lsdf-worker runs one MapReduce worker runtime out of
+// process: it registers with a compute master (an lsdfd started with
+// -compute-addr, or any mapreduce.Master), heartbeats for task
+// leases, executes map/reduce attempts against the master's DFS
+// through the /dfsproxy plane, and serves its spilled shuffle
+// segments to peer reducers.
+//
+//	lsdfd -addr :7420 -token s3cret -compute-addr 10.0.0.1:7421
+//	lsdf-worker -master http://10.0.0.1:7421 -id w1 -slots 4
+//
+// Workers resolve job templates from the builtin registry; a facility
+// with custom templates runs a custom worker binary that registers
+// the same templates before StartWorker (functions cannot cross the
+// wire).
+//
+// SIGTERM/SIGINT close gracefully: running attempts finish and report
+// before the process exits. A killed worker is detected by the master
+// through lease expiry and its tasks re-executed elsewhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/mapreduce"
+)
+
+func main() {
+	var (
+		master    = flag.String("master", "", "compute master URL (required)")
+		id        = flag.String("id", "", "worker ID (default: host-pid derived)")
+		node      = flag.String("node", "", "datanode this worker is co-located with (locality hint)")
+		slots     = flag.Int("slots", 0, "concurrent task slots (default 2)")
+		stepDelay = flag.Duration("step-delay", 0, "artificial per-record delay (straggler experiments)")
+	)
+	flag.Parse()
+	if err := run(*master, *id, *node, *slots, *stepDelay); err != nil {
+		fmt.Fprintln(os.Stderr, "lsdf-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(master, id, node string, slots int, stepDelay time.Duration) error {
+	if master == "" {
+		return fmt.Errorf("-master URL is required")
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := mapreduce.StartWorker(mapreduce.WorkerConfig{
+		ID:        id,
+		Master:    master,
+		Node:      node,
+		Slots:     slots,
+		StepDelay: stepDelay,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("lsdf-worker: %s registered with %s (shuffle on %s)", id, master, w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	log.Printf("lsdf-worker: %s draining", id)
+	w.Close()
+	return nil
+}

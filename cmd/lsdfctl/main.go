@@ -33,17 +33,23 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/adal"
+	"repro/internal/dfs"
 	"repro/internal/gateway"
 	"repro/internal/gateway/client"
+	"repro/internal/mapreduce"
 	"repro/internal/metadata"
+	"repro/internal/mrpc"
 	"repro/internal/readcache"
 	"repro/internal/replication"
 	"repro/internal/tiering"
@@ -94,6 +100,11 @@ commands:
   tag PATH TAG                tag a dataset
   untag PATH TAG              remove a tag
   query [-project P] [-tag T] find datasets
+  jobs submit -job NAME -out DIR [-reducers N] [-arg K=V] [-wait] INPUT...
+                              run a named analysis job (local: synchronous
+                              on a transient cluster; remote: async unless -wait)
+  jobs status [ID]            show one job, or list all submitted jobs
+  jobs wait ID                block until a job finishes and print its result
   export                      dump the metadata DB as JSON to stdout
   tier                        show per-object tier placement and counters
   tier migrate PATH           move an object to the cold tier (stub stays)
@@ -216,11 +227,140 @@ func runRemote(server, token string, args []string) error {
 			fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
 		}
 		return nil
+	case "jobs":
+		return remoteJobs(ctx, c, rest)
 	case "tier", "replica", "cache", "export":
 		return fmt.Errorf("%q administers facility-internal state and is local-only; rerun with -state on the facility host", cmd)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// jobSubmitFlags is the shared flag surface of "jobs submit" in both
+// modes.
+type jobSubmitFlags struct {
+	fs       *flag.FlagSet
+	job      *string
+	out      *string
+	reducers *int
+	wait     *bool
+	args     map[string]string
+}
+
+func newJobSubmitFlags() *jobSubmitFlags {
+	f := &jobSubmitFlags{args: map[string]string{}}
+	f.fs = flag.NewFlagSet("jobs submit", flag.ContinueOnError)
+	f.job = f.fs.String("job", "", "job template name (wordcount, linecount, grep, ...)")
+	f.out = f.fs.String("out", "", "output directory for reducer part files")
+	f.reducers = f.fs.Int("reducers", 0, "reducer count (default: template's)")
+	f.wait = f.fs.Bool("wait", false, "block until the job finishes (remote mode; local jobs always run to completion)")
+	f.fs.Func("arg", "template argument KEY=VALUE (repeatable)", func(s string) error {
+		k, v, ok := strings.Cut(s, "=")
+		if !ok || k == "" {
+			return fmt.Errorf("want KEY=VALUE, got %q", s)
+		}
+		f.args[k] = v
+		return nil
+	})
+	return f
+}
+
+func (f *jobSubmitFlags) parse(args []string) error {
+	if err := f.fs.Parse(args); err != nil {
+		return err
+	}
+	if *f.job == "" || *f.out == "" || f.fs.NArg() == 0 {
+		return fmt.Errorf("jobs submit: need -job NAME -out DIR INPUT...")
+	}
+	return nil
+}
+
+func printJobStatus(st gateway.JobStatus) {
+	fmt.Printf("%s  %s  %s", st.ID, st.Job, st.State)
+	if st.DurationMS > 0 {
+		fmt.Printf("  %dms", st.DurationMS)
+	}
+	if st.Error != "" {
+		fmt.Printf("  error: %s", st.Error)
+	}
+	fmt.Println()
+	if st.State == gateway.JobDone {
+		c := st.Counters
+		fmt.Printf("  tasks: %d map (%d local) + %d reduce, retries %d, speculative %d launched / %d won\n",
+			c.MapTasks, c.LocalTasks, c.ReduceTasks, c.Retries, c.SpecLaunched, c.SpecWon)
+		fmt.Printf("  records: %d in, %d out; shuffle %s (%s remote), %d spill runs\n",
+			c.InputRecords, c.OutputRecords, units.Bytes(c.ShuffleBytes).SI(),
+			units.Bytes(c.RemoteShuffleBytes).SI(), c.SpillRuns)
+		for _, f := range st.OutputFiles {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+}
+
+func remoteJobs(ctx context.Context, c *client.Client, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("jobs: need submit|status|wait")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "submit":
+		f := newJobSubmitFlags()
+		if err := f.parse(rest); err != nil {
+			return err
+		}
+		st, err := c.SubmitJob(ctx, gateway.JobRequest{
+			Job:         *f.job,
+			Inputs:      f.fs.Args(),
+			OutputDir:   *f.out,
+			NumReducers: *f.reducers,
+			Args:        f.args,
+		})
+		if err != nil {
+			return err
+		}
+		if *f.wait {
+			if st, err = c.WaitJob(ctx, st.ID, 50*time.Millisecond); err != nil {
+				return err
+			}
+		}
+		printJobStatus(st)
+		if st.State == gateway.JobFailed {
+			return fmt.Errorf("job %s failed", st.ID)
+		}
+		return nil
+	case "status":
+		if len(rest) == 1 {
+			st, err := c.Job(ctx, rest[0])
+			if err != nil {
+				return err
+			}
+			printJobStatus(st)
+			return nil
+		}
+		sts, err := c.Jobs(ctx)
+		if err != nil {
+			return err
+		}
+		for _, st := range sts {
+			printJobStatus(st)
+		}
+		return nil
+	case "wait":
+		if len(rest) != 1 {
+			return fmt.Errorf("jobs wait: need JOB-ID")
+		}
+		st, err := c.WaitJob(ctx, rest[0], 50*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		printJobStatus(st)
+		if st.State == gateway.JobFailed {
+			return fmt.Errorf("job %s failed", st.ID)
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobs: unknown subcommand %q", sub)
 	}
 }
 
@@ -392,6 +532,8 @@ func run(state string, cacheMemMiB, cacheDiskMiB int, args []string) error {
 		return c.tag(cmd, rest)
 	case "query":
 		return c.query(rest)
+	case "jobs":
+		return c.jobsCmd(rest)
 	case "export":
 		return c.meta.Export(os.Stdout)
 	default:
@@ -501,6 +643,172 @@ func (c *ctl) query(args []string) error {
 	}
 	for _, ds := range c.meta.Find(q) {
 		fmt.Printf("%s  %-10s  %-40s  [%s]\n", ds.ID, ds.Size.SI(), ds.Path, strings.Join(ds.Tags, ","))
+	}
+	return nil
+}
+
+// Local job history: every "jobs submit" appends its (final) record
+// to STATE/jobs.json, so status/wait work across invocations exactly
+// like their remote counterparts — except local jobs are synchronous,
+// so wait never blocks.
+func (c *ctl) jobsPath() string { return filepath.Join(c.state, "jobs.json") }
+
+func (c *ctl) loadJobs() ([]gateway.JobStatus, error) {
+	data, err := os.ReadFile(c.jobsPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var jobs []gateway.JobStatus
+	if err := json.Unmarshal(data, &jobs); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", c.jobsPath(), err)
+	}
+	return jobs, nil
+}
+
+func (c *ctl) appendJob(st gateway.JobStatus) error {
+	jobs, err := c.loadJobs()
+	if err != nil {
+		return err
+	}
+	jobs = append(jobs, st)
+	data, err := json.MarshalIndent(jobs, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.jobsPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.jobsPath())
+}
+
+func (c *ctl) jobsCmd(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("jobs: need submit|status|wait")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "submit":
+		f := newJobSubmitFlags()
+		if err := f.parse(rest); err != nil {
+			return err
+		}
+		return c.submitLocalJob(f)
+	case "status", "wait":
+		jobs, err := c.loadJobs()
+		if err != nil {
+			return err
+		}
+		if sub == "wait" && len(rest) != 1 {
+			return fmt.Errorf("jobs wait: need JOB-ID")
+		}
+		if len(rest) == 1 {
+			for _, st := range jobs {
+				if st.ID == rest[0] {
+					printJobStatus(st)
+					if st.State == gateway.JobFailed {
+						return fmt.Errorf("job %s failed", st.ID)
+					}
+					return nil
+				}
+			}
+			return fmt.Errorf("no job %s", rest[0])
+		}
+		for _, st := range jobs {
+			printJobStatus(st)
+		}
+		return nil
+	default:
+		return fmt.Errorf("jobs: unknown subcommand %q", sub)
+	}
+}
+
+// submitLocalJob runs a named analysis synchronously: it stages the
+// inputs from the state namespace onto a transient single-process
+// analysis cluster, resolves the template from the builtin registry
+// (the same one lsdfd serves), runs the job, and copies the part
+// files back under -out so ls/stat see them like any stored object.
+func (c *ctl) submitLocalJob(f *jobSubmitFlags) error {
+	cluster := dfs.NewCluster(dfs.Config{
+		BlockSize:   4 * units.MiB,
+		Replication: 1,
+		Seed:        1,
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := cluster.AddDataNode(fmt.Sprintf("dn%d", i), "rack0", 4*units.GiB); err != nil {
+			return err
+		}
+	}
+	inputs := f.fs.Args()
+	for _, in := range inputs {
+		r, err := c.layer.Open(in)
+		if err != nil {
+			return fmt.Errorf("staging %s: %w", in, err)
+		}
+		w, err := cluster.Create(in, "")
+		if err != nil {
+			r.Close()
+			return err
+		}
+		_, err = io.Copy(w, r)
+		r.Close()
+		if cerr := w.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("staging %s: %w", in, err)
+		}
+	}
+	cfg, err := mapreduce.Builtin().Resolve(mrpc.JobSpec{
+		Name:        *f.job,
+		Inputs:      inputs,
+		OutputDir:   *f.out,
+		NumReducers: *f.reducers,
+		Args:        f.args,
+	})
+	if err != nil {
+		return err
+	}
+
+	jobs, err := c.loadJobs()
+	if err != nil {
+		return err
+	}
+	st := gateway.JobStatus{
+		ID:     fmt.Sprintf("j-%06d", len(jobs)+1),
+		Job:    *f.job,
+		Tenant: "local",
+	}
+	res, runErr := mapreduce.Run(cluster, cfg)
+	if runErr != nil {
+		st.State = gateway.JobFailed
+		st.Error = runErr.Error()
+	} else {
+		st.State = gateway.JobDone
+		st.DurationMS = res.Duration.Milliseconds()
+		st.Counters = res.Counters
+		st.OutputFiles = res.OutputFiles
+		for _, of := range res.OutputFiles {
+			r, err := cluster.Open(of, "")
+			if err != nil {
+				return err
+			}
+			_, _, err = c.layer.WriteChecksummed(of, r)
+			r.Close()
+			if err != nil {
+				return fmt.Errorf("storing %s: %w", of, err)
+			}
+		}
+	}
+	if err := c.appendJob(st); err != nil {
+		return err
+	}
+	printJobStatus(st)
+	if runErr != nil {
+		return fmt.Errorf("job %s failed", st.ID)
 	}
 	return nil
 }

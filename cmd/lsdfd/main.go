@@ -54,43 +54,80 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "read cache disk directory (created if missing)")
 		shards      = flag.Int("shards", 0, "metadata shard count (default 16)")
 		dfsNodes    = flag.Int("dfs-nodes", 8, "analysis cluster datanodes")
+		computeN    = flag.Int("compute-workers", 0, "distributed MapReduce: in-process compute workers (0 = single-process engine)")
+		computeS    = flag.Int("compute-slots", 0, "distributed MapReduce: task slots per worker (default 2)")
+		computeAddr = flag.String("compute-addr", "", "distributed MapReduce: master control-plane listen address for external lsdf-worker processes (default loopback ephemeral; implies -compute-workers if unset)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
-	if err := run(*addr, *tenantsFile, *tenantName, *token, *dataDir, *walDir, *sites,
-		*cacheMem, *cacheDisk, *cacheDir, *shards, *dfsNodes, *drain); err != nil {
+	cfg := daemonConfig{
+		addr: *addr, tenantsFile: *tenantsFile, tenantName: *tenantName, token: *token,
+		dataDir: *dataDir, walDir: *walDir, sites: *sites,
+		cacheMem: *cacheMem, cacheDisk: *cacheDisk, cacheDir: *cacheDir,
+		shards: *shards, dfsNodes: *dfsNodes,
+		computeWorkers: *computeN, computeSlots: *computeS, computeAddr: *computeAddr,
+		drainTimeout: *drain,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lsdfd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, tenantsFile, tenantName, token, dataDir, walDir, sites string,
-	cacheMem, cacheDisk int, cacheDir string, shards, dfsNodes int, drainTimeout time.Duration) error {
-	tenants, err := loadTenants(tenantsFile, tenantName, token)
+type daemonConfig struct {
+	addr           string
+	tenantsFile    string
+	tenantName     string
+	token          string
+	dataDir        string
+	walDir         string
+	sites          string
+	cacheMem       int
+	cacheDisk      int
+	cacheDir       string
+	shards         int
+	dfsNodes       int
+	computeWorkers int
+	computeSlots   int
+	computeAddr    string
+	drainTimeout   time.Duration
+}
+
+func run(c daemonConfig) error {
+	tenants, err := loadTenants(c.tenantsFile, c.tenantName, c.token)
 	if err != nil {
 		return err
 	}
 
 	opts := facility.Options{
-		DFSNodes:       dfsNodes,
-		MetadataShards: shards,
-		WALDir:         walDir,
+		DFSNodes:       c.dfsNodes,
+		MetadataShards: c.shards,
+		WALDir:         c.walDir,
 		AsyncEvents:    true,
+		ComputeWorkers: c.computeWorkers,
+		ComputeSlots:   c.computeSlots,
+		ComputeAddr:    c.computeAddr,
 	}
-	if walDir != "" {
-		if err := os.MkdirAll(walDir, 0o755); err != nil {
+	// -compute-addr alone still means "run the distributed plane": a
+	// master with no local workers, waiting for external lsdf-worker
+	// processes to register.
+	if c.computeAddr != "" && opts.ComputeWorkers == 0 {
+		opts.ComputeWorkers = 1
+	}
+	if c.walDir != "" {
+		if err := os.MkdirAll(c.walDir, 0o755); err != nil {
 			return err
 		}
 	}
-	if sites != "" {
-		opts.Sites = splitList(sites)
-		opts.ReadCacheMemory = units.Bytes(cacheMem) * units.MiB
-		opts.ReadCacheDisk = units.Bytes(cacheDisk) * units.MiB
-		if cacheDir != "" {
-			if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+	if c.sites != "" {
+		opts.Sites = splitList(c.sites)
+		opts.ReadCacheMemory = units.Bytes(c.cacheMem) * units.MiB
+		opts.ReadCacheDisk = units.Bytes(c.cacheDisk) * units.MiB
+		if c.cacheDir != "" {
+			if err := os.MkdirAll(c.cacheDir, 0o755); err != nil {
 				return err
 			}
-			opts.ReadCacheDir = cacheDir
+			opts.ReadCacheDir = c.cacheDir
 		}
 	}
 	fac, err := facility.New(opts)
@@ -98,12 +135,15 @@ func run(addr, tenantsFile, tenantName, token, dataDir, walDir, sites string,
 		return err
 	}
 	defer fac.Close()
+	if fac.Compute != nil {
+		log.Printf("lsdfd: compute master on %s (%d in-process workers)", fac.Compute.URL(), opts.ComputeWorkers)
+	}
 
-	if dataDir != "" {
-		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+	if c.dataDir != "" {
+		if err := os.MkdirAll(c.dataDir, 0o755); err != nil {
 			return err
 		}
-		local, err := adal.NewLocalFS("data", dataDir)
+		local, err := adal.NewLocalFS("data", c.dataDir)
 		if err != nil {
 			return err
 		}
@@ -120,13 +160,13 @@ func run(addr, tenantsFile, tenantName, token, dataDir, walDir, sites string,
 		return err
 	}
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("lsdfd: serving %d tenant(s) on %s (wal=%q sites=%q)", len(tenants), ln.Addr(), walDir, sites)
+	log.Printf("lsdfd: serving %d tenant(s) on %s (wal=%q sites=%q)", len(tenants), ln.Addr(), c.walDir, c.sites)
 	httpSrv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
-	err = srv.ServeDraining(httpSrv, ln, drainTimeout, syscall.SIGTERM, os.Interrupt)
+	err = srv.ServeDraining(httpSrv, ln, c.drainTimeout, syscall.SIGTERM, os.Interrupt)
 	if err == nil {
 		log.Printf("lsdfd: drained, shutting down")
 	}

@@ -229,6 +229,30 @@ func (c *Cluster) Delete(name string) error {
 	return nil
 }
 
+// Rename atomically moves a complete file to a new name. It is the
+// commit primitive for attempt-scoped outputs: a task writes
+// "part-00001.a3" and the committer renames the winner into place.
+// The target must not exist; the source must be complete (a rename of
+// a file mid-write would detach its writer from the namespace).
+func (c *Cluster) Rename(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.files[oldName]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, oldName)
+	}
+	if !f.complete {
+		return fmt.Errorf("%w: %q", ErrIncomplete, oldName)
+	}
+	if _, ok := c.files[newName]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, newName)
+	}
+	delete(c.files, oldName)
+	f.name = newName
+	c.files[newName] = f
+	return nil
+}
+
 // BlockLocations returns, per block of the file, the IDs of datanodes
 // holding a live replica. MapReduce uses it for locality scheduling.
 func (c *Cluster) BlockLocations(name string) ([][]string, error) {

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mapreduce"
+	"repro/internal/mrpc"
+	"repro/internal/units"
+	"repro/internal/workloads"
+)
+
+// E18 — distributed MapReduce under adversity (PR 9).
+//
+// The paper's Hadoop cluster is not one process: it is a JobTracker
+// scheduling TaskTrackers that fail, lag and recover. This experiment
+// drives the reproduction's distributed engine — master, workers,
+// heartbeat leases, network shuffle, speculative execution — through
+// the failure modes that machinery exists for, with the single-process
+// engine as the correctness oracle.
+//
+// Phase 1 (scale-out): the same IO-emulating wordcount runs on 1, 2,
+// 4 and 8 workers; wall time must fall as workers join while splits
+// outnumber slots.
+//
+// Phase 2 (adversity): 8 workers serve two concurrent tenant jobs
+// under weighted fair-share (bio 3 : climate 1), with one worker
+// slowed to 10% speed and two healthy workers SIGKILLed mid-job (no
+// goodbye — the master finds out by lease expiry). The bar: both
+// jobs' part files byte-identical to their single-process references
+// (zero lost acked results — killed workers' spilled segments are
+// refetched or their maps re-executed), and speculative backups
+// bounded by the per-job cap.
+const (
+	e18Workers     = 8
+	e18Slots       = 2
+	e18Heartbeat   = raceScale * 3 * time.Millisecond // see race_on.go
+	e18BaseDelay   = 200 * time.Microsecond           // per-record emulated IO
+	e18SlowFactor  = 10                               // straggler runs at 10% speed
+	e18Reducers    = 3
+	e18SpillBudget = 1024 // bytes; forces the external sort-spill path
+)
+
+// e18Templates is the registry the master and every worker share.
+func e18Templates() mapreduce.Registry {
+	return mapreduce.Registry{
+		"wc": func(mrpc.JobSpec) (mapreduce.Config, error) {
+			return mapreduce.Config{
+				Mapper: mapreduce.MapperFunc(func(_ string, v []byte, emit mapreduce.Emit) error {
+					for _, w := range strings.Fields(string(v)) {
+						emit(w, []byte("1"))
+					}
+					return nil
+				}),
+				Reducer:     workloads.SumReducer,
+				Combiner:    workloads.SumReducer,
+				Format:      mapreduce.TextInput,
+				Locality:    true,
+				Speculative: true,
+			}, nil
+		},
+	}
+}
+
+func e18Corpus(seed, lines int) []byte {
+	words := []string{"fish", "embryo", "the", "toxicology", "screen",
+		"development", "kit", "genome", "sequence", "tile"}
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "%s %s %s line%04d\n",
+			words[(i+seed)%len(words)], words[(i*3+seed)%len(words)],
+			words[(i*7+seed+2)%len(words)], i)
+	}
+	return []byte(sb.String())
+}
+
+func e18Cluster(blockSize units.Bytes) (*dfs.Cluster, error) {
+	c := dfs.NewCluster(dfs.Config{BlockSize: blockSize, Replication: 3, Seed: 18})
+	for i := 0; i < e18Workers; i++ {
+		if _, err := c.AddDataNode(fmt.Sprintf("dn%02d", i), fmt.Sprintf("rack%d", i%2), units.GiB); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func e18Master(c *dfs.Cluster) (*mapreduce.Master, error) {
+	return mapreduce.NewMaster(mapreduce.MasterConfig{
+		Cluster:   c,
+		Registry:  e18Templates(),
+		Heartbeat: e18Heartbeat,
+	})
+}
+
+// e18StartWorkers launches n workers; delays maps worker index to
+// per-record StepDelay (every worker gets at least the base IO
+// emulation).
+func e18StartWorkers(c *dfs.Cluster, m *mapreduce.Master, n int, delays map[int]time.Duration) ([]*mapreduce.Worker, error) {
+	ws := make([]*mapreduce.Worker, n)
+	for i := range ws {
+		d, ok := delays[i]
+		if !ok {
+			d = e18BaseDelay
+		}
+		w, err := mapreduce.StartWorker(mapreduce.WorkerConfig{
+			ID:        fmt.Sprintf("w%d", i),
+			Master:    m.URL(),
+			Store:     mapreduce.NewDFSStore(c),
+			Node:      fmt.Sprintf("dn%02d", i%e18Workers),
+			Slots:     e18Slots,
+			Registry:  e18Templates(),
+			StepDelay: d,
+		})
+		if err != nil {
+			for _, started := range ws[:i] {
+				started.Close()
+			}
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// e18ScaleRun runs the wordcount on a fresh cluster with n workers and
+// returns the job wall time.
+func e18ScaleRun(n int) (time.Duration, error) {
+	c, err := e18Cluster(4 * units.KiB)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.WriteFile("/in/doc", "", e18Corpus(1, 1600)); err != nil {
+		return 0, err
+	}
+	m, err := e18Master(c)
+	if err != nil {
+		return 0, err
+	}
+	defer m.Close()
+	ws, err := e18StartWorkers(c, m, n, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		for _, w := range ws {
+			w.Close()
+		}
+	}()
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out",
+		NumReducers: e18Reducers,
+	}, "bio")
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	if _, err := j.Wait(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// e18PartsEqual byte-compares two jobs' part files by basename.
+func e18PartsEqual(c *dfs.Cluster, ref, got []string) (bool, error) {
+	if len(ref) != len(got) {
+		return false, nil
+	}
+	base := func(p string) string { return p[strings.LastIndex(p, "/")+1:] }
+	gotByName := make(map[string][]byte, len(got))
+	for _, f := range got {
+		data, err := c.ReadFile(f, "")
+		if err != nil {
+			return false, fmt.Errorf("read %s: %w", f, err)
+		}
+		gotByName[base(f)] = data
+	}
+	for _, f := range ref {
+		want, err := c.ReadFile(f, "")
+		if err != nil {
+			return false, fmt.Errorf("read %s: %w", f, err)
+		}
+		if !bytes.Equal(want, gotByName[base(f)]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// E18DistributedCompute runs both phases and renders the table.
+func E18DistributedCompute() (*Table, error) {
+	var rows [][]string
+
+	// Phase 1: scale-out.
+	var t1 time.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		d, err := e18ScaleRun(n)
+		if err != nil {
+			return nil, fmt.Errorf("scale-out %d workers: %w", n, err)
+		}
+		if n == 1 {
+			t1 = d
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("scale-out: %d workers (%d slots)", n, n*e18Slots),
+			d.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx vs 1 worker", float64(t1)/float64(d)),
+		})
+	}
+
+	// Phase 2: adversity. Two tenant jobs on 8 workers, worker 0 at
+	// 10% speed, workers 2 and 3 killed mid-job.
+	c, err := e18Cluster(2 * units.KiB)
+	if err != nil {
+		return nil, err
+	}
+	for seed, path := range map[int]string{3: "/in/bio", 5: "/in/climate"} {
+		if err := c.WriteFile(path, "", e18Corpus(seed, 800)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Single-process references, same specs, before any worker exists.
+	reg := e18Templates()
+	refs := make(map[string]*mapreduce.Result, 2)
+	specs := map[string]mrpc.JobSpec{
+		"bio": {Name: "wc", Inputs: []string{"/in/bio"}, OutputDir: "/ref/bio",
+			NumReducers: e18Reducers, ShuffleMemory: e18SpillBudget},
+		"climate": {Name: "wc", Inputs: []string{"/in/climate"}, OutputDir: "/ref/climate",
+			NumReducers: e18Reducers, ShuffleMemory: e18SpillBudget},
+	}
+	for tenant, spec := range specs {
+		cfg, err := reg.Resolve(spec)
+		if err != nil {
+			return nil, err
+		}
+		refs[tenant], err = mapreduce.Run(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("reference %s: %w", tenant, err)
+		}
+	}
+
+	m, err := e18Master(c)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	m.SetTenantWeight("bio", 3)
+	m.SetTenantWeight("climate", 1)
+	ws, err := e18StartWorkers(c, m, e18Workers, map[int]time.Duration{
+		0: e18SlowFactor * e18BaseDelay, // the straggler
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, w := range ws {
+			w.Close()
+		}
+	}()
+
+	jobs := make(map[string]*mapreduce.Job, 2)
+	for tenant, spec := range specs {
+		spec.OutputDir = "/dist/" + tenant
+		j, err := m.Submit(spec, tenant)
+		if err != nil {
+			return nil, fmt.Errorf("submit %s: %w", tenant, err)
+		}
+		jobs[tenant] = j
+	}
+
+	// Mid-job, two healthy workers die without a goodbye; the master
+	// learns by lease expiry and re-executes what they were running.
+	time.Sleep(20 * e18Heartbeat)
+	ws[2].Kill()
+	ws[3].Kill()
+
+	start := time.Now()
+	for _, tenant := range []string{"bio", "climate"} {
+		res, err := jobs[tenant].Wait()
+		if err != nil {
+			return nil, fmt.Errorf("job %s: %w", tenant, err)
+		}
+		identical, err := e18PartsEqual(c, refs[tenant].OutputFiles, res.OutputFiles)
+		if err != nil {
+			return nil, err
+		}
+		if !identical {
+			return nil, fmt.Errorf("job %s output differs from single-process reference", tenant)
+		}
+		if res.Counters.OutputRecords != refs[tenant].Counters.OutputRecords {
+			return nil, fmt.Errorf("job %s output records %d, reference %d",
+				tenant, res.Counters.OutputRecords, refs[tenant].Counters.OutputRecords)
+		}
+		specCap := int64(2)
+		if n := int64(res.Counters.MapTasks+res.Counters.ReduceTasks) / 4; n > specCap {
+			specCap = n
+		}
+		if res.Counters.SpecLaunched > specCap {
+			return nil, fmt.Errorf("job %s launched %d speculative attempts, cap %d",
+				tenant, res.Counters.SpecLaunched, specCap)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("adversity: %s job (weight %d)", tenant, map[string]int{"bio": 3, "climate": 1}[tenant]),
+			res.Duration.Round(time.Millisecond).String(),
+			fmt.Sprintf("byte-identical; %d retries, %d/%d speculative launched/won, %s remote shuffle",
+				res.Counters.Retries, res.Counters.SpecLaunched, res.Counters.SpecWon,
+				units.Bytes(res.Counters.RemoteShuffleBytes).SI()),
+		})
+	}
+	drainWall := time.Since(start)
+
+	// The kills are silent — the master only learns by lease expiry,
+	// which may land after a short job has already drained. The fleet
+	// count is about that detection, so give the monitor its lease.
+	live := m.LiveWorkers()
+	for deadline := time.Now().Add(40 * e18Heartbeat); len(live) > e18Workers-2 && time.Now().Before(deadline); {
+		time.Sleep(e18Heartbeat)
+		live = m.LiveWorkers()
+	}
+	rows = append(rows, []string{
+		"adversity: worker fleet after kills",
+		fmt.Sprintf("%d live of %d", len(live), e18Workers),
+		fmt.Sprintf("2 killed mid-job, 1 running at %d%% speed; drain took %s",
+			100/e18SlowFactor, drainWall.Round(time.Millisecond)),
+	})
+
+	return &Table{
+		ID:         "E18",
+		Title:      "Distributed MapReduce: scale-out, stragglers, worker loss (slide 11)",
+		PaperClaim: "dedicated 60-node cluster, 110 TB HDFS, extreme scalability on commodity hardware",
+		Columns:    []string{"configuration", "wall time", "detail"},
+		Rows:       rows,
+		Notes: "every map/reduce attempt crosses the wire (register, heartbeat-leased assignment, " +
+			"explicit completion); reducers fetch spilled segments from worker shuffle servers with " +
+			"DFS fallback, so killed workers cost re-execution only when their segments are gone. " +
+			"Both adversity jobs are byte-identical to the single-process engine — the ordering and " +
+			"tie-break invariants survive distribution, failure and speculation.",
+	}, nil
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"os"
 	"strconv"
 	"strings"
@@ -305,5 +306,43 @@ func TestE17GatewayAcceptance(t *testing.T) {
 	p99, err := time.ParseDuration(quiet[4])
 	if err != nil || p99 > 500*time.Millisecond {
 		t.Errorf("quiet neighbor p99 = %s next to a saturating hog, want < 500ms", quiet[4])
+	}
+}
+
+// TestE18DistributedAcceptance pins the distributed-compute bar: both
+// adversity jobs byte-identical to the single-process engine with two
+// workers killed and one straggling, speculative copies bounded (the
+// experiment errors internally otherwise), and scale-out actually
+// scaling.
+func TestE18DistributedAcceptance(t *testing.T) {
+	tbl, err := E18DistributedCompute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speedup8 float64
+	adversityJobs, fleetRows := 0, 0
+	for _, row := range tbl.Rows {
+		switch {
+		case strings.HasPrefix(row[0], "scale-out: 8 workers"):
+			if _, err := fmt.Sscanf(row[2], "%fx", &speedup8); err != nil {
+				t.Fatalf("parsing speedup from %q: %v", row[2], err)
+			}
+		case strings.HasPrefix(row[0], "adversity:") && strings.Contains(row[2], "byte-identical"):
+			adversityJobs++
+		case strings.HasPrefix(row[0], "adversity: worker fleet"):
+			fleetRows++
+			if !strings.HasPrefix(row[1], "6 live of 8") {
+				t.Errorf("fleet row = %q, want 6 live of 8", row[1])
+			}
+		}
+	}
+	if adversityJobs != 2 {
+		t.Errorf("%d byte-identical adversity jobs, want 2", adversityJobs)
+	}
+	if fleetRows != 1 {
+		t.Error("missing worker-fleet row")
+	}
+	if speedup8 < 1.5 {
+		t.Errorf("8-worker speedup %.2fx, want >= 1.5x", speedup8)
 	}
 }

@@ -87,5 +87,6 @@ func All() []Runner {
 		{"E15", "durable-metadata", E15DurableMetadata},
 		{"E16", "hot-set-read-cache", E16HotSetReadCache},
 		{"E17", "gateway-load", E17GatewayLoad},
+		{"E18", "distributed-mapreduce", E18DistributedCompute},
 	}
 }

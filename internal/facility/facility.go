@@ -25,6 +25,7 @@ import (
 	"repro/internal/dfs"
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
+	"repro/internal/mrpc"
 	"repro/internal/objectstore"
 	"repro/internal/readcache"
 	"repro/internal/replication"
@@ -59,6 +60,28 @@ type Options struct {
 	// stream-merge them back. 0 keeps jobs fully in memory; a job's
 	// own Config.ShuffleMemory overrides it.
 	ShuffleMemory units.Bytes
+	// ComputeWorkers enables the distributed MapReduce plane when > 0:
+	// the facility runs a job master plus that many worker runtimes
+	// over the analysis cluster, and named-job submissions
+	// (SubmitNamedJob, the gateway's /v1/jobs) execute with scheduling
+	// distributed across them — heartbeat leases, speculative straggler
+	// backups, weighted multi-tenant fair-share. 0 (the default) keeps
+	// named jobs on the single-process engine.
+	ComputeWorkers int
+	// ComputeSlots is each compute worker's concurrent task capacity
+	// (default 2, the Hadoop-era TaskTracker default).
+	ComputeSlots int
+	// ComputeAddr is the compute master's control-plane listen address
+	// ("" = loopback ephemeral). Set it to a routable address to let
+	// out-of-process lsdf-worker runtimes join the facility's fleet.
+	ComputeAddr string
+	// JobTemplates is the named-job registry shared by the master and
+	// every worker (default mapreduce.Builtin). Operators register
+	// community analyses here.
+	JobTemplates mapreduce.Registry
+	// TenantWeights sets per-tenant fair-share weights on the compute
+	// master (unlisted tenants weigh 1).
+	TenantWeights map[string]int
 	// AsyncWorkflows > 0 runs triggered workflows on that many workers.
 	AsyncWorkflows int
 	// MetadataShards overrides the metadata store's shard count
@@ -138,6 +161,11 @@ type Options struct {
 	// at startup are re-admitted (a restarted facility keeps its
 	// warmed set).
 	ReadCacheDir string
+	// ReadCacheNegTTL enables the cache's negative tier: not-found
+	// lookups are remembered this long (invalidated early by created
+	// events on the bus), so polling for an object that hasn't arrived
+	// yet stops probing every federation site on each poll.
+	ReadCacheNegTTL time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -196,6 +224,13 @@ type Facility struct {
 	// Options.ReadCacheMemory or ReadCacheDisk was set.
 	ReadCache *readcache.Cache
 
+	// Compute is the distributed MapReduce master; nil unless
+	// Options.ComputeWorkers was set. Its workers run in-process,
+	// bound to the analysis cluster's datanodes.
+	Compute        *mapreduce.Master
+	computeWorkers []*mapreduce.Worker
+
+	templates     mapreduce.Registry
 	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
 
@@ -316,6 +351,7 @@ func New(opts Options) (*Facility, error) {
 			Memory:      opts.ReadCacheMemory,
 			Disk:        diskTier,
 			DiskBudget:  opts.ReadCacheDisk,
+			NegTTL:      opts.ReadCacheNegTTL,
 			Meta:        meta,
 			MountPrefix: "/sites",
 		})
@@ -361,6 +397,43 @@ func New(opts Options) (*Facility, error) {
 	}
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
 	f.Rules = rules.NewEngine(layer, meta)
+
+	f.templates = opts.JobTemplates
+	if f.templates == nil {
+		f.templates = mapreduce.Builtin()
+	}
+	if opts.ComputeWorkers > 0 {
+		master, err := mapreduce.NewMaster(mapreduce.MasterConfig{
+			Cluster:       cluster,
+			Registry:      f.templates,
+			Addr:          opts.ComputeAddr,
+			ShuffleMemory: opts.ShuffleMemory,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.Compute = master
+		for tenant, w := range opts.TenantWeights {
+			master.SetTenantWeight(tenant, w)
+		}
+		nodes := cluster.DataNodes()
+		for i := 0; i < opts.ComputeWorkers; i++ {
+			w, err := mapreduce.StartWorker(mapreduce.WorkerConfig{
+				ID:       fmt.Sprintf("cw%02d", i),
+				Master:   master.URL(),
+				Store:    mapreduce.NewDFSStore(cluster),
+				Node:     nodes[i%len(nodes)],
+				Slots:    opts.ComputeSlots,
+				Registry: f.templates,
+			})
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			f.computeWorkers = append(f.computeWorkers, w)
+		}
+	}
 	return f, nil
 }
 
@@ -370,6 +443,12 @@ func New(opts Options) (*Facility, error) {
 // that order, so every event published before Close still reaches
 // its triggers.
 func (f *Facility) Close() {
+	for _, w := range f.computeWorkers {
+		w.Close()
+	}
+	if f.Compute != nil {
+		f.Compute.Close()
+	}
 	if f.ReadCache != nil {
 		f.ReadCache.Close()
 	}
@@ -399,4 +478,49 @@ func (f *Facility) RunJob(cfg mapreduce.Config) (*mapreduce.Result, error) {
 		cfg.ShuffleMemory = f.shuffleMemory
 	}
 	return mapreduce.Run(f.DFS, cfg)
+}
+
+// SubmitNamedJob admits a registered job template for execution and
+// returns a wait function for its result. With a compute plane
+// (Options.ComputeWorkers) the job runs distributed under the
+// master's scheduling; otherwise it resolves against the same
+// registry and runs on the single-process engine — byte-identical
+// output either way. Submission errors (unknown template, missing
+// inputs) surface synchronously.
+func (f *Facility) SubmitNamedJob(spec mrpc.JobSpec, tenant string) (func() (*mapreduce.Result, error), error) {
+	if f.Compute != nil {
+		if spec.ShuffleMemory == 0 {
+			spec.ShuffleMemory = int64(f.shuffleMemory)
+		}
+		j, err := f.Compute.Submit(spec, tenant)
+		if err != nil {
+			return nil, err
+		}
+		return j.Wait, nil
+	}
+	cfg, err := f.templates.Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ShuffleMemory == 0 {
+		cfg.ShuffleMemory = f.shuffleMemory
+	}
+	c := cfg
+	return func() (*mapreduce.Result, error) { return mapreduce.Run(f.DFS, c) }, nil
+}
+
+// HasJobTemplate reports whether the facility's job registry knows a
+// template name.
+func (f *Facility) HasJobTemplate(name string) bool {
+	_, ok := f.templates[name]
+	return ok
+}
+
+// RunNamedJob is SubmitNamedJob run to completion.
+func (f *Facility) RunNamedJob(spec mrpc.JobSpec, tenant string) (*mapreduce.Result, error) {
+	wait, err := f.SubmitNamedJob(spec, tenant)
+	if err != nil {
+		return nil, err
+	}
+	return wait()
 }

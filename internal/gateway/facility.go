@@ -15,5 +15,9 @@ func ForFacility(f *facility.Facility, cfg Config) (*Server, error) {
 	if cfg.RunJob == nil {
 		cfg.RunJob = f.RunJob
 	}
+	if cfg.RunSpec == nil {
+		cfg.RunSpec = f.SubmitNamedJob
+		cfg.HasJob = f.HasJobTemplate
+	}
 	return New(cfg)
 }

@@ -47,6 +47,7 @@ import (
 	"repro/internal/adal"
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
+	"repro/internal/mrpc"
 	"repro/internal/units"
 )
 
@@ -69,6 +70,15 @@ type Config struct {
 	// RunJob executes a MapReduce job (facility.RunJob); nil disables
 	// the /v1/jobs endpoints with 501.
 	RunJob func(mapreduce.Config) (*mapreduce.Result, error)
+	// RunSpec, when set, takes precedence over RunJob+Jobs for job
+	// submission: requests become wire-level job specs resolved and
+	// executed by the facility (facility.SubmitNamedJob) — on its
+	// distributed compute plane when one runs, with the submitting
+	// tenant carried through to the master's fair-share scheduler.
+	RunSpec func(spec mrpc.JobSpec, tenant string) (func() (*mapreduce.Result, error), error)
+	// HasJob reports whether the RunSpec registry knows a template —
+	// the pre-authorization 404 check (facility.HasJobTemplate).
+	HasJob func(name string) bool
 	// Jobs maps submittable job names to builders (default
 	// BuiltinJobs).
 	Jobs map[string]JobBuilder

@@ -2,6 +2,7 @@ package gateway
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/mapreduce"
+	"repro/internal/mrpc"
 )
 
 // Map and reduce functions are Go code — they cannot cross the wire.
@@ -118,7 +120,7 @@ func (j *jobState) status() JobStatus {
 
 func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	ai := reqAuth(r)
-	if s.cfg.RunJob == nil {
+	if s.cfg.RunJob == nil && s.cfg.RunSpec == nil {
 		writeErr(w, http.StatusNotImplemented, "jobs_disabled", "this lsdfd has no analysis cluster")
 		return
 	}
@@ -130,8 +132,15 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad_request", "job needs inputs and output_dir")
 		return
 	}
-	builder, ok := s.cfg.Jobs[req.Job]
-	if !ok {
+	// Unknown templates 404 before authorization (name existence is
+	// not path-private); the spec path asks its registry through
+	// Config.HasJob, the legacy path its builder map.
+	if s.cfg.RunSpec != nil {
+		if s.cfg.HasJob != nil && !s.cfg.HasJob(req.Job) {
+			writeErr(w, http.StatusNotFound, "unknown_job", fmt.Sprintf("no job template %q", req.Job))
+			return
+		}
+	} else if _, ok := s.cfg.Jobs[req.Job]; !ok {
 		writeErr(w, http.StatusNotFound, "unknown_job", fmt.Sprintf("no job template %q", req.Job))
 		return
 	}
@@ -148,16 +157,42 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	cfg, err := builder(req)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
-		return
-	}
-	cfg.Name = req.Job
-	cfg.Inputs = req.Inputs
-	cfg.OutputDir = req.OutputDir
-	if req.NumReducers > 0 {
-		cfg.NumReducers = req.NumReducers
+
+	// Resolve the execution path: RunSpec hands the request to the
+	// facility as a wire-level spec (distributed master when one
+	// runs); the legacy RunJob path builds the config gateway-side.
+	var run func() (*mapreduce.Result, error)
+	if s.cfg.RunSpec != nil {
+		wait, err := s.cfg.RunSpec(mrpc.JobSpec{
+			Name:        req.Job,
+			Inputs:      req.Inputs,
+			OutputDir:   req.OutputDir,
+			NumReducers: req.NumReducers,
+			Args:        req.Args,
+		}, ai.tenant.name)
+		if err != nil {
+			if errors.Is(err, mapreduce.ErrUnknownTemplate) {
+				writeErr(w, http.StatusNotFound, "unknown_job", err.Error())
+			} else {
+				writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			}
+			return
+		}
+		run = wait
+	} else {
+		builder := s.cfg.Jobs[req.Job]
+		cfg, err := builder(req)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		cfg.Name = req.Job
+		cfg.Inputs = req.Inputs
+		cfg.OutputDir = req.OutputDir
+		if req.NumReducers > 0 {
+			cfg.NumReducers = req.NumReducers
+		}
+		run = func() (*mapreduce.Result, error) { return s.cfg.RunJob(cfg) }
 	}
 
 	s.jobsMu.Lock()
@@ -173,7 +208,7 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	s.jobsMu.Unlock()
 
 	go func() {
-		res, err := s.cfg.RunJob(cfg)
+		res, err := run()
 		s.jobsMu.Lock()
 		defer s.jobsMu.Unlock()
 		js.finished = time.Now()

@@ -176,23 +176,24 @@ func (c *Config) streamingReducer() StreamReducer {
 // Counters are the job's observable metrics, updated atomically while
 // the job runs.
 type Counters struct {
-	MapTasks         int64
-	ReduceTasks      int64
-	InputRecords     int64
-	MapOutputRecords int64
-	CombineInput     int64
-	CombineOutput    int64
-	ReduceGroups     int64
-	OutputRecords    int64
-	LocalTasks       int64 // map tasks scheduled on a replica holder
-	RemoteTasks      int64
-	SpecLaunched     int64 // speculative attempts started
-	SpecWon          int64 // tasks whose speculative attempt committed first
-	Retries          int64 // attempts re-run after errors (map and reduce)
-	ShuffleBytes     int64 // intermediate volume fed to reducers
-	SpillRuns        int64 // sorted runs spilled to the DFS by map tasks
-	SpillBytes       int64 // bytes written into spill segment files
-	MergeStreams     int64 // run streams opened by shuffle merges
+	MapTasks           int64
+	ReduceTasks        int64
+	InputRecords       int64
+	MapOutputRecords   int64
+	CombineInput       int64
+	CombineOutput      int64
+	ReduceGroups       int64
+	OutputRecords      int64
+	LocalTasks         int64 // map tasks scheduled on a replica holder
+	RemoteTasks        int64
+	SpecLaunched       int64 // speculative attempts started
+	SpecWon            int64 // tasks whose speculative attempt committed first
+	Retries            int64 // attempts re-run after errors (map and reduce)
+	ShuffleBytes       int64 // intermediate volume fed to reducers
+	RemoteShuffleBytes int64 // segment bytes fetched from worker shuffle servers
+	SpillRuns          int64 // sorted runs spilled to the DFS by map tasks
+	SpillBytes         int64 // bytes written into spill segment files
+	MergeStreams       int64 // run streams opened by shuffle merges
 }
 
 func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
@@ -200,23 +201,24 @@ func (c *Counters) add(field *int64, n int64) { atomic.AddInt64(field, n) }
 // snapshot returns a plain copy readable without atomics.
 func (c *Counters) snapshot() Counters {
 	return Counters{
-		MapTasks:         atomic.LoadInt64(&c.MapTasks),
-		ReduceTasks:      atomic.LoadInt64(&c.ReduceTasks),
-		InputRecords:     atomic.LoadInt64(&c.InputRecords),
-		MapOutputRecords: atomic.LoadInt64(&c.MapOutputRecords),
-		CombineInput:     atomic.LoadInt64(&c.CombineInput),
-		CombineOutput:    atomic.LoadInt64(&c.CombineOutput),
-		ReduceGroups:     atomic.LoadInt64(&c.ReduceGroups),
-		OutputRecords:    atomic.LoadInt64(&c.OutputRecords),
-		LocalTasks:       atomic.LoadInt64(&c.LocalTasks),
-		RemoteTasks:      atomic.LoadInt64(&c.RemoteTasks),
-		SpecLaunched:     atomic.LoadInt64(&c.SpecLaunched),
-		SpecWon:          atomic.LoadInt64(&c.SpecWon),
-		Retries:          atomic.LoadInt64(&c.Retries),
-		ShuffleBytes:     atomic.LoadInt64(&c.ShuffleBytes),
-		SpillRuns:        atomic.LoadInt64(&c.SpillRuns),
-		SpillBytes:       atomic.LoadInt64(&c.SpillBytes),
-		MergeStreams:     atomic.LoadInt64(&c.MergeStreams),
+		MapTasks:           atomic.LoadInt64(&c.MapTasks),
+		ReduceTasks:        atomic.LoadInt64(&c.ReduceTasks),
+		InputRecords:       atomic.LoadInt64(&c.InputRecords),
+		MapOutputRecords:   atomic.LoadInt64(&c.MapOutputRecords),
+		CombineInput:       atomic.LoadInt64(&c.CombineInput),
+		CombineOutput:      atomic.LoadInt64(&c.CombineOutput),
+		ReduceGroups:       atomic.LoadInt64(&c.ReduceGroups),
+		OutputRecords:      atomic.LoadInt64(&c.OutputRecords),
+		LocalTasks:         atomic.LoadInt64(&c.LocalTasks),
+		RemoteTasks:        atomic.LoadInt64(&c.RemoteTasks),
+		SpecLaunched:       atomic.LoadInt64(&c.SpecLaunched),
+		SpecWon:            atomic.LoadInt64(&c.SpecWon),
+		Retries:            atomic.LoadInt64(&c.Retries),
+		ShuffleBytes:       atomic.LoadInt64(&c.ShuffleBytes),
+		RemoteShuffleBytes: atomic.LoadInt64(&c.RemoteShuffleBytes),
+		SpillRuns:          atomic.LoadInt64(&c.SpillRuns),
+		SpillBytes:         atomic.LoadInt64(&c.SpillBytes),
+		MergeStreams:       atomic.LoadInt64(&c.MergeStreams),
 	}
 }
 

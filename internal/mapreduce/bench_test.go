@@ -127,7 +127,7 @@ func BenchmarkTextSplitReader(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n := 0
 		for _, s := range splits {
-			if err := readRecords(c, s, TextInput, "", func(string, []byte) error {
+			if err := readRecords(NewDFSStore(c), s, TextInput, "", func(string, []byte) error {
 				n++
 				return nil
 			}); err != nil {

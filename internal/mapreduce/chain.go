@@ -48,82 +48,13 @@ func (e *engine) runMapOnly() ([]string, error) {
 	for t, out := range e.mapOut {
 		name := fmt.Sprintf("%s/part-m-%05d", trimDir(e.cfg.OutputDir), t)
 		node := e.nodes[t%len(e.nodes)]
-		if err := e.writeMapOutput(name, node, t, out); err != nil {
-			_ = e.cluster.Delete(name)
+		if err := e.rt.writeMapOutput(name, node, t, out); err != nil {
+			_ = e.rt.store.Delete(name)
 			return nil, err
 		}
 		outputs[t] = name
 	}
 	return outputs, nil
-}
-
-// writeMapOutput streams one task's partitions, in partition order,
-// each merged across its runs. With a combiner configured, merged
-// groups are re-folded through it: each spilled run was combined
-// independently, so without the re-fold a spilled map-only job would
-// emit partial aggregates where the in-memory path emits one combined
-// record per key.
-func (e *engine) writeMapOutput(name, node string, task int, out *taskOutput) error {
-	w, err := e.cluster.Create(name, node)
-	if err != nil {
-		return err
-	}
-	var werr error
-	var line []byte
-	emit := func(key string, value []byte) {
-		if werr != nil {
-			return
-		}
-		line = append(line[:0], key...)
-		line = append(line, '\t')
-		line = append(line, value...)
-		line = append(line, '\n')
-		if _, e2 := w.Write(line); e2 != nil {
-			werr = e2
-			return
-		}
-		e.ctr.add(&e.ctr.OutputRecords, 1)
-	}
-	var refold StreamReducer = identityStreamReducer{}
-	if e.cfg.Combiner != nil && len(out.spills) > 0 {
-		refold = streamAdapter{e.cfg.Combiner}
-	}
-	for p := 0; p < e.cfg.NumReducers; p++ {
-		srcs, cursors, err := e.appendTaskSources(nil, nil, out, task, p, node)
-		var m *merger
-		if err == nil {
-			e.ctr.add(&e.ctr.MergeStreams, int64(len(srcs)))
-			m, err = newMerger(srcs)
-		}
-		for err == nil {
-			head, ok := m.peek()
-			if !ok {
-				break
-			}
-			vals := &Values{m: m, key: head.key}
-			if rerr := refold.ReduceStream(head.key, vals, emit); rerr != nil {
-				err = rerr
-				break
-			}
-			vals.drain()
-			if vals.err != nil {
-				err = vals.err
-				break
-			}
-			if werr != nil {
-				err = werr
-				break
-			}
-		}
-		for _, c := range cursors {
-			c.close()
-		}
-		if err != nil {
-			_ = w.Close()
-			return err
-		}
-	}
-	return w.Close()
 }
 
 func trimDir(dir string) string {

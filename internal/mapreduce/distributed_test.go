@@ -1,0 +1,484 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mrpc"
+)
+
+// testTemplates is the registry distributed tests share: wordcount
+// with a combiner (the shuffle path), and a map-only grep.
+func testTemplates() Registry {
+	return Registry{
+		"wc": func(mrpc.JobSpec) (Config, error) {
+			return Config{
+				Mapper:   wordCountMapper,
+				Reducer:  sumReducer,
+				Combiner: sumReducer,
+				Format:   TextInput,
+				Locality: true,
+			}, nil
+		},
+		"wc-spec": func(mrpc.JobSpec) (Config, error) {
+			return Config{
+				Mapper:      wordCountMapper,
+				Reducer:     sumReducer,
+				Combiner:    sumReducer,
+				Format:      TextInput,
+				Locality:    true,
+				Speculative: true,
+			}, nil
+		},
+		"grep-the": func(mrpc.JobSpec) (Config, error) {
+			return Config{
+				Mapper: MapperFunc(func(key string, value []byte, emit Emit) error {
+					if strings.Contains(string(value), "the") {
+						emit(key, value)
+					}
+					return nil
+				}),
+				Format:  TextInput,
+				MapOnly: true,
+			}, nil
+		},
+	}
+}
+
+func startMaster(t testing.TB, c *dfs.Cluster) *Master {
+	t.Helper()
+	m, err := NewMaster(MasterConfig{
+		Cluster:   c,
+		Registry:  testTemplates(),
+		Heartbeat: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// startWorkers launches n workers bound to the cluster; delays maps a
+// worker index to an injected per-record StepDelay (stragglers).
+func startWorkers(t testing.TB, c *dfs.Cluster, m *Master, n int, delays map[int]time.Duration) []*Worker {
+	t.Helper()
+	ws := make([]*Worker, n)
+	for i := range ws {
+		w, err := StartWorker(WorkerConfig{
+			ID:        fmt.Sprintf("w%d", i),
+			Master:    m.URL(),
+			Store:     NewDFSStore(c),
+			Node:      fmt.Sprintf("dn%02d", i%len(c.DataNodes())),
+			Slots:     2,
+			Registry:  testTemplates(),
+			StepDelay: delays[i],
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+		ws[i] = w
+	}
+	return ws
+}
+
+func waitJob(t *testing.T, j *Job) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := j.Wait()
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("job %s: %v", j.ID, o.err)
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatalf("job %s: timed out", j.ID)
+		return nil
+	}
+}
+
+// readParts returns each output file's raw bytes keyed by its name
+// relative to the output dir, for byte-level comparison across runs.
+func readParts(t *testing.T, c *dfs.Cluster, files []string) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte, len(files))
+	for _, f := range files {
+		data, err := c.ReadFile(f, "")
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		out[f[strings.LastIndex(f, "/")+1:]] = data
+	}
+	return out
+}
+
+func wcCorpus(n int) []string {
+	words := []string{"fish", "embryo", "the", "toxicology", "screen",
+		"development", "kit", "genome", "the", "tile"}
+	lines := make([]string, n)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%s %s %s line%04d",
+			words[i%len(words)], words[(i*3+1)%len(words)], words[(i*7+2)%len(words)], i)
+	}
+	return lines
+}
+
+// TestDistributedByteIdentity is the core acceptance check: the same
+// job, same spill budget, run through the single-process engine and
+// through master + 4 workers, must produce byte-identical part files
+// — the merge tie-break and spill-all invariants crossing the wire
+// intact.
+func TestDistributedByteIdentity(t *testing.T) {
+	c := testCluster(4, 256)
+	if err := writeCorpus(c, "/in/doc", wcCorpus(300)); err != nil {
+		t.Fatal(err)
+	}
+	// Single-process reference, spilling (1 KiB budget).
+	ref, err := Run(c, Config{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/sp",
+		Mapper: wordCountMapper, Reducer: sumReducer, Combiner: sumReducer,
+		NumReducers: 3, Locality: true, ShuffleMemory: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := startMaster(t, c)
+	startWorkers(t, c, m, 4, nil)
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/dist",
+		NumReducers: 3, ShuffleMemory: 1024,
+	}, "bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitJob(t, j)
+
+	want := readParts(t, c, ref.OutputFiles)
+	got := readParts(t, c, res.OutputFiles)
+	if len(got) != len(want) {
+		t.Fatalf("distributed wrote %d parts, reference %d", len(got), len(want))
+	}
+	for name, wb := range want {
+		if string(got[name]) != string(wb) {
+			t.Errorf("%s differs from single-process output", name)
+		}
+	}
+	if res.Counters.InputRecords != ref.Counters.InputRecords {
+		t.Errorf("input records %d != reference %d",
+			res.Counters.InputRecords, ref.Counters.InputRecords)
+	}
+	if res.Counters.OutputRecords != ref.Counters.OutputRecords {
+		t.Errorf("output records %d != reference %d",
+			res.Counters.OutputRecords, ref.Counters.OutputRecords)
+	}
+	if res.Counters.SpillRuns == 0 {
+		t.Error("distributed job spilled no runs; spill path untested")
+	}
+	// Shuffle fetches should have come from worker shuffle servers,
+	// not the DFS fallback, while every worker is alive.
+	if res.Counters.RemoteShuffleBytes == 0 {
+		t.Error("no bytes moved through the network shuffle")
+	}
+	// Committed shuffle state must be gone.
+	for _, f := range c.List("/out/dist/_shuffle") {
+		t.Errorf("leftover shuffle file %s", f.Name)
+	}
+}
+
+// TestDistributedMapOnly checks the NumReduceTasks=0 path: attempt
+// files renamed into part-m names identical to the engine's.
+func TestDistributedMapOnly(t *testing.T) {
+	c := testCluster(4, 256)
+	if err := writeCorpus(c, "/in/doc", wcCorpus(120)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(c, Config{
+		Name: "grep", Inputs: []string{"/in/doc"}, OutputDir: "/out/gsp",
+		Mapper: MapperFunc(func(key string, value []byte, emit Emit) error {
+			if strings.Contains(string(value), "the") {
+				emit(key, value)
+			}
+			return nil
+		}),
+		Format: TextInput, MapOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := startMaster(t, c)
+	startWorkers(t, c, m, 3, nil)
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "grep-the", Inputs: []string{"/in/doc"}, OutputDir: "/out/gd",
+	}, "bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitJob(t, j)
+	want := readParts(t, c, ref.OutputFiles)
+	got := readParts(t, c, res.OutputFiles)
+	if len(got) != len(want) {
+		t.Fatalf("distributed wrote %d parts, reference %d", len(got), len(want))
+	}
+	for name, wb := range want {
+		if string(got[name]) != string(wb) {
+			t.Errorf("%s differs from single-process output", name)
+		}
+	}
+}
+
+// TestDistributedWorkerKill kills half the fleet mid-job. The master
+// must detect the missed heartbeats, re-queue the dead workers' work
+// (re-running committed maps only if their spill files are really
+// unreachable), and finish with output identical to a clean run.
+func TestDistributedWorkerKill(t *testing.T) {
+	c := testCluster(4, 128)
+	if err := writeCorpus(c, "/in/doc", wcCorpus(400)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(c, Config{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/ksp",
+		Mapper: wordCountMapper, Reducer: sumReducer, Combiner: sumReducer,
+		NumReducers: 2, Locality: true, ShuffleMemory: 2048,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := startMaster(t, c)
+	// Slow every record slightly so the job outlives the kills.
+	slow := map[int]time.Duration{}
+	for i := 0; i < 4; i++ {
+		slow[i] = 100 * time.Microsecond
+	}
+	ws := startWorkers(t, c, m, 4, slow)
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/kd",
+		NumReducers: 2, ShuffleMemory: 2048,
+	}, "bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let tasks land on every worker
+	ws[1].Kill()
+	ws[3].Kill()
+	res := waitJob(t, j)
+	want := readParts(t, c, ref.OutputFiles)
+	got := readParts(t, c, res.OutputFiles)
+	for name, wb := range want {
+		if string(got[name]) != string(wb) {
+			t.Errorf("%s differs from clean run after worker kills", name)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if live := m.LiveWorkers(); len(live) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("master still counts %v live", m.LiveWorkers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDistributedSpeculation runs one worker at ~1% speed. The master
+// must project the straggler from its progress rate, launch a bounded
+// backup, and commit whichever attempt finishes first — with output
+// identical to an unhampered run.
+func TestDistributedSpeculation(t *testing.T) {
+	c := testCluster(4, 256)
+	if err := writeCorpus(c, "/in/doc", wcCorpus(300)); err != nil {
+		t.Fatal(err)
+	}
+	m := startMaster(t, c)
+	// Three healthy workers plus one single-slot straggler. The
+	// sleep-based delay is sized so the straggler's first map is
+	// still running long after the healthy workers drain the rest of
+	// the queue — even under -race, which slows their compute but
+	// not this sleep — so there is always a committed median to
+	// project against and a straggler alive past it. One slot keeps
+	// the test deterministic the other way too: the straggler cannot
+	// absorb a whole phase, whose siblings then never commit.
+	startWorkers(t, c, m, 3, nil)
+	slow, err := StartWorker(WorkerConfig{
+		ID:        "w-slow",
+		Master:    m.URL(),
+		Store:     NewDFSStore(c),
+		Node:      "dn03",
+		Slots:     1,
+		Registry:  testTemplates(),
+		StepDelay: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(slow.Close)
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "wc-spec", Inputs: []string{"/in/doc"}, OutputDir: "/out/spec",
+		NumReducers: 2,
+	}, "bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitJob(t, j)
+	got, err := ReadTextOutput(c, res.OutputFiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["fish"]) != 1 {
+		t.Fatalf("bad output: %v", got)
+	}
+	if res.Counters.SpecLaunched == 0 {
+		t.Error("no speculative attempt launched against a 100x straggler")
+	}
+	specCap := int64(2)
+	if n := int64(len(j.maps)+len(j.reduces)) / 4; n > specCap {
+		specCap = n
+	}
+	if res.Counters.SpecLaunched > specCap {
+		t.Errorf("speculative attempts %d exceed cap %d", res.Counters.SpecLaunched, specCap)
+	}
+}
+
+// TestDistributedFairShare runs two tenants with 3:1 weights over a
+// saturated fleet and checks the weighted tenant finishes first while
+// both produce correct output.
+func TestDistributedFairShare(t *testing.T) {
+	c := testCluster(4, 128)
+	if err := writeCorpus(c, "/in/a", wcCorpus(200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCorpus(c, "/in/b", wcCorpus(200)); err != nil {
+		t.Fatal(err)
+	}
+	m := startMaster(t, c)
+	startWorkers(t, c, m, 2, map[int]time.Duration{0: 50 * time.Microsecond, 1: 50 * time.Microsecond})
+	m.SetTenantWeight("heavy", 3)
+	m.SetTenantWeight("light", 1)
+	ja, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/a"}, OutputDir: "/out/fa", NumReducers: 2,
+	}, "heavy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/b"}, OutputDir: "/out/fb", NumReducers: 2,
+	}, "light")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := waitJob(t, ja)
+	rb := waitJob(t, jb)
+	if ra.Counters.OutputRecords == 0 || rb.Counters.OutputRecords == 0 {
+		t.Fatal("a tenant produced no output")
+	}
+	if ra.Counters.OutputRecords != rb.Counters.OutputRecords {
+		t.Errorf("identical corpora produced %d vs %d output records",
+			ra.Counters.OutputRecords, rb.Counters.OutputRecords)
+	}
+}
+
+// TestProxyStore exercises the out-of-process storage path: create,
+// stat, ranged reads, rename and delete through the master's DFS
+// proxy endpoints.
+func TestProxyStore(t *testing.T) {
+	c := testCluster(3, 64)
+	m := startMaster(t, c)
+	ps := NewProxyStore(m.URL())
+
+	w, err := ps.Create("/px/file", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("0123456789abcdef", 64) // 1 KiB, >1 block
+	if _, err := w.Write([]byte(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sz, err := ps.Stat("/px/file"); err != nil || sz != int64(len(payload)) {
+		t.Fatalf("stat = %d, %v; want %d", sz, err, len(payload))
+	}
+	f, err := ps.Open("/px/file", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	if _, err := f.ReadAt(buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != payload[500:600] {
+		t.Error("ranged read mismatch")
+	}
+	if err := ps.Rename("/px/file", "/px/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Stat("/px/file"); !IsNotFound(err) {
+		t.Fatalf("stat after rename: %v", err)
+	}
+	if err := ps.Delete("/px/moved"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ps.Open("/px/moved", ""); !IsNotFound(err) {
+		t.Fatalf("open after delete: %v", err)
+	}
+}
+
+// TestDistributedProxyWorkers runs a full job with workers that reach
+// storage only through the master's DFS proxy — the out-of-process
+// deployment shape — and checks output equality with a direct run.
+func TestDistributedProxyWorkers(t *testing.T) {
+	c := testCluster(4, 256)
+	if err := writeCorpus(c, "/in/doc", wcCorpus(150)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(c, Config{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/psp",
+		Mapper: wordCountMapper, Reducer: sumReducer, Combiner: sumReducer,
+		NumReducers: 2, ShuffleMemory: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := startMaster(t, c)
+	for i := 0; i < 2; i++ {
+		w, err := StartWorker(WorkerConfig{
+			ID:       fmt.Sprintf("pw%d", i),
+			Master:   m.URL(),
+			Slots:    2, // Store nil → proxy
+			Registry: testTemplates(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(w.Close)
+	}
+	j, err := m.Submit(mrpc.JobSpec{
+		Name: "wc", Inputs: []string{"/in/doc"}, OutputDir: "/out/pd",
+		NumReducers: 2, ShuffleMemory: 1024,
+	}, "bio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := waitJob(t, j)
+	want := readParts(t, c, ref.OutputFiles)
+	got := readParts(t, c, res.OutputFiles)
+	for name, wb := range want {
+		if string(got[name]) != string(wb) {
+			t.Errorf("%s differs through the proxy store", name)
+		}
+	}
+}

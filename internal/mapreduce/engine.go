@@ -80,9 +80,7 @@ type engine struct {
 	splits  []split
 	nodes   []string
 	ctr     *Counters
-
-	shufDir  string       // dfs prefix for this job's spill files
-	spillSeq atomic.Int64 // unique suffix for spill file names
+	rt      *taskRuntime // shared task-execution machinery
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -118,9 +116,15 @@ func Run(cluster *dfs.Cluster, cfg Config) (*Result, error) {
 		splits:  splits,
 		nodes:   nodes,
 		ctr:     &Counters{},
-		shufDir: fmt.Sprintf("%s/_shuffle-%d", trimDir(cfg.OutputDir), shuffleEpoch.Add(1)),
 		tasks:   make([]taskState, len(splits)),
 		mapOut:  make([]*taskOutput, len(splits)),
+	}
+	e.rt = &taskRuntime{
+		store:    NewDFSStore(cluster),
+		cfg:      cfg,
+		ctr:      e.ctr,
+		shufDir:  fmt.Sprintf("%s/_shuffle-%d", trimDir(cfg.OutputDir), shuffleEpoch.Add(1)),
+		spillSeq: new(atomic.Int64),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	for i := range splits {
@@ -278,7 +282,7 @@ func (e *engine) runAttempt(node string, att attempt) {
 		}
 	}
 	started := time.Now()
-	out, records, outRecords, err := e.executeMap(node, att.task, e.splits[att.task])
+	out, records, outRecords, err := e.rt.executeMap(node, att.task, e.splits[att.task])
 
 	e.mu.Lock()
 	st := &e.tasks[att.task]
@@ -301,7 +305,7 @@ func (e *engine) runAttempt(node string, att attempt) {
 	}
 	if st.committed {
 		e.mu.Unlock()
-		e.discardOutput(out) // lost the race; drop its spills
+		e.rt.discardOutput(out) // lost the race; drop its spills
 		return
 	}
 	if e.failed != nil {
@@ -309,7 +313,7 @@ func (e *engine) runAttempt(node string, att attempt) {
 		// Run may have returned and cleaned up, so committing now would
 		// leak this attempt's spill files past cleanupShuffle.
 		e.mu.Unlock()
-		e.discardOutput(out)
+		e.rt.discardOutput(out)
 		return
 	}
 	st.committed = true
@@ -323,143 +327,6 @@ func (e *engine) runAttempt(node string, att attempt) {
 	}
 	e.cond.Broadcast()
 	e.mu.Unlock()
-}
-
-// mapCollector accumulates a map attempt's partitioned output under
-// the shuffle memory budget, spilling sorted runs to the DFS when the
-// budget fills. It is per-attempt and single-goroutine.
-type mapCollector struct {
-	e     *engine
-	node  string
-	task  int
-	parts [][]kv
-	arena byteArena
-	mem   int64
-	err   error // first spill/combine failure; latched
-	out   taskOutput
-}
-
-func (c *mapCollector) add(key string, value []byte) {
-	p := partition(key, len(c.parts))
-	c.parts[p] = append(c.parts[p], kv{key: key, val: c.arena.copy(value)})
-	c.mem += int64(len(key)) + int64(len(value)) + kvOverhead
-	if budget := int64(c.e.cfg.ShuffleMemory); budget > 0 && c.mem >= budget {
-		c.spill()
-	}
-}
-
-// spill sorts+combines the buffered run, writes it to the DFS and
-// resets the buffer. Errors latch into c.err; the attempt surfaces
-// them after the mapper returns.
-func (c *mapCollector) spill() {
-	if c.err != nil {
-		return
-	}
-	parts, err := c.e.sortAndCombine(c.parts)
-	if err != nil {
-		c.err = err
-		return
-	}
-	run, err := c.e.writeSpill(c.node, c.task, parts)
-	if err != nil {
-		c.err = err
-		return
-	}
-	c.out.spills = append(c.out.spills, run)
-	c.parts = make([][]kv, len(c.parts))
-	c.arena = byteArena{}
-	c.mem = 0
-}
-
-// finish sorts+combines the final run, which stays in memory.
-func (c *mapCollector) finish() error {
-	if c.err != nil {
-		return c.err
-	}
-	parts, err := c.e.sortAndCombine(c.parts)
-	if err != nil {
-		return err
-	}
-	c.out.mem = parts
-	return nil
-}
-
-// executeMap runs the mapper over one split and returns the task's
-// output: spilled runs plus the final in-memory run, each sorted and
-// combined. On error, spill files already written are deleted.
-func (e *engine) executeMap(node string, task int, s split) (out *taskOutput, records, outRecords int64, err error) {
-	col := &mapCollector{e: e, node: node, task: task, parts: make([][]kv, e.cfg.NumReducers)}
-	emit := func(key string, value []byte) {
-		if col.err != nil {
-			return // a spill failed; drop further output
-		}
-		col.add(key, value)
-		outRecords++
-	}
-	err = readRecords(e.cluster, s, e.cfg.Format, node, func(key string, value []byte) error {
-		records++
-		if merr := e.cfg.Mapper.Map(key, value, emit); merr != nil {
-			return merr
-		}
-		return col.err // abort the record loop on spill failure
-	})
-	if err == nil {
-		err = col.finish()
-	}
-	if err != nil {
-		e.discardOutput(&col.out)
-		return nil, 0, 0, err
-	}
-	return &col.out, records, outRecords, nil
-}
-
-// sortAndCombine stable-sorts each partition by key (preserving
-// emission order within a key) and folds it through the combiner if
-// one is configured.
-func (e *engine) sortAndCombine(parts [][]kv) ([][]kv, error) {
-	for p := range parts {
-		sort.SliceStable(parts[p], func(i, j int) bool { return parts[p][i].key < parts[p][j].key })
-	}
-	if e.cfg.Combiner != nil {
-		for p := range parts {
-			combined, cerr := e.combine(parts[p])
-			if cerr != nil {
-				return nil, cerr
-			}
-			parts[p] = combined
-		}
-	}
-	return parts, nil
-}
-
-// combine folds a sorted run of pairs through the combiner.
-func (e *engine) combine(sorted []kv) ([]kv, error) {
-	var out []kv
-	var arena byteArena
-	emit := func(key string, value []byte) {
-		out = append(out, kv{key: key, val: arena.copy(value)})
-	}
-	i := 0
-	for i < len(sorted) {
-		j := i
-		for j < len(sorted) && sorted[j].key == sorted[i].key {
-			j++
-		}
-		vals := make([][]byte, 0, j-i)
-		for _, p := range sorted[i:j] {
-			vals = append(vals, p.val)
-		}
-		e.ctr.add(&e.ctr.CombineInput, int64(j-i))
-		if err := e.cfg.Combiner.Reduce(sorted[i].key, vals, emit); err != nil {
-			return nil, err
-		}
-		i = j
-	}
-	e.ctr.add(&e.ctr.CombineOutput, int64(len(out)))
-	// Combiner output for a sorted input is sorted as long as the
-	// combiner emits the group key; enforce for safety.
-	sort.SliceStable(out, func(a, b int) bool { return out[a].key < out[b].key })
-	return out, nil
 }
 
 // speculationMonitor launches duplicates for tasks running much longer

@@ -1,0 +1,974 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dfs"
+	"repro/internal/mrpc"
+	"repro/internal/units"
+)
+
+// Master is the distributed job tracker: it owns job and task state
+// machines, leases tasks to registered workers over the mrpc plane,
+// detects worker death by missed heartbeats, re-executes lost work,
+// launches speculative backups for stragglers, and arbitrates
+// first-finisher-wins commits (rename of attempt-scoped output files,
+// so a superseded attempt can never clobber a committed one). It also
+// serves a DFS proxy so out-of-process workers reach the cluster's
+// storage through the same address they heartbeat to.
+//
+// Scheduling is multi-job fair-share: each heartbeat's free slots go
+// to the runnable job with the smallest running-slots/weight ratio,
+// weights being per-tenant — PR 8's tenant fairness, applied to
+// compute.
+type Master struct {
+	cfg   MasterConfig
+	store Store
+	srv   *mrpc.Server
+
+	mu      sync.Mutex
+	workers map[string]*mWorker
+	jobs    map[string]*Job
+	jobSeq  int
+	weights map[string]int // tenant → fair-share weight (default 1)
+	stopMon chan struct{}
+	monWG   sync.WaitGroup
+	closed  bool
+}
+
+// MasterConfig configures a master.
+type MasterConfig struct {
+	Cluster  *dfs.Cluster
+	Registry Registry
+	// Addr is the control-plane listen address ("" = loopback
+	// ephemeral — in-process workers and tests).
+	Addr string
+	// Heartbeat is the cadence workers are told to beat at
+	// (default 10ms — laptop scale; a real deployment uses seconds).
+	Heartbeat time.Duration
+	// Lease is the liveness timeout: a worker silent for this long is
+	// presumed dead and its in-flight attempts are re-queued
+	// (default 8× Heartbeat).
+	Lease time.Duration
+	// MaxTaskFailures is the per-task error budget before the job
+	// fails (default 4). Worker deaths re-queue without burning it.
+	MaxTaskFailures int
+	// ShuffleMemory is the default spill budget for jobs that do not
+	// set one.
+	ShuffleMemory units.Bytes
+}
+
+func (c MasterConfig) withDefaults() MasterConfig {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 10 * time.Millisecond
+	}
+	if c.Lease <= 0 {
+		c.Lease = 8 * c.Heartbeat
+	}
+	if c.MaxTaskFailures <= 0 {
+		c.MaxTaskFailures = 4
+	}
+	if c.Registry == nil {
+		c.Registry = Builtin()
+	}
+	return c
+}
+
+// mWorker is the master's view of one worker.
+type mWorker struct {
+	id       string
+	addr     string
+	node     string
+	slots    int
+	lastBeat time.Time
+	alive    bool
+	kill     []mrpc.AttemptID
+	attempts map[mrpc.AttemptID]*mAttempt
+}
+
+// runsPhase reports whether the worker already runs an attempt of
+// the given job's phase.
+func (w *mWorker) runsPhase(job, phase string) bool {
+	for id := range w.attempts {
+		if id.Job == job && id.Phase == phase {
+			return true
+		}
+	}
+	return false
+}
+
+// runsTask reports whether the worker already runs an attempt of the
+// exact task.
+func (w *mWorker) runsTask(key mrpc.TaskKey) bool {
+	for id := range w.attempts {
+		if id.Job == key.Job && id.Phase == key.Phase && id.Task == key.Task {
+			return true
+		}
+	}
+	return false
+}
+
+// mAttempt is one in-flight attempt.
+type mAttempt struct {
+	id       mrpc.AttemptID
+	worker   string
+	started  time.Time
+	progress float64
+	spec     bool
+	local    bool
+}
+
+// mTask is one task's state machine: pending → running attempts →
+// committed, with failure re-queues and lost-output resurrection.
+type mTask struct {
+	committed   bool
+	queued      bool
+	failures    int
+	nextAttempt int
+	deferUntil  time.Time         // phase-spread: yield to other workers until then
+	running     map[int]*mAttempt // attempt number → info
+	specStarted bool
+	runs        []mrpc.RunRef // committed map output geometry
+	runWorker   string        // worker whose shuffle server serves the runs
+	outFile     string        // committed final output (reduce / map-only)
+}
+
+// Job is a submitted distributed job.
+type Job struct {
+	ID     string
+	master *Master
+	tenant string
+	spec   mrpc.JobSpec
+	cfg    Config
+	splits []split
+	shuf   string
+	ctr    *Counters
+	start  time.Time
+
+	maps, reduces            []mTask
+	mapsDone, redsDone       int
+	pendingMaps, pendingReds []int
+	specQ                    []mrpc.TaskKey
+	specLaunched, specCap    int
+	runningSlots             int
+
+	failed  error
+	doneCh  chan struct{}
+	outputs []string
+	dur     time.Duration   // settled wall time
+	mapDur  []time.Duration // committed attempt durations, per phase
+	redDur  []time.Duration
+}
+
+// NewMaster starts a master and its control-plane server.
+func NewMaster(cfg MasterConfig) (*Master, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cluster == nil {
+		return nil, errors.New("mapreduce: master needs a cluster")
+	}
+	m := &Master{
+		cfg:     cfg,
+		store:   NewDFSStore(cfg.Cluster),
+		workers: make(map[string]*mWorker),
+		jobs:    make(map[string]*Job),
+		weights: make(map[string]int),
+		stopMon: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mrpc.Handle(mux, mrpc.PathRegister, m.handleRegister)
+	mrpc.Handle(mux, mrpc.PathHeartbeat, m.handleHeartbeat)
+	mrpc.Handle(mux, mrpc.PathComplete, m.handleComplete)
+	m.mountProxy(mux)
+	srv, err := mrpc.Serve(cfg.Addr, mux)
+	if err != nil {
+		return nil, err
+	}
+	m.srv = srv
+	m.monWG.Add(1)
+	go m.monitor()
+	return m, nil
+}
+
+// URL is the master's control-plane base URL.
+func (m *Master) URL() string { return m.srv.URL() }
+
+// Close stops the monitor and the server. Running jobs fail.
+func (m *Master) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		if j.failed == nil && !j.isDone() {
+			j.fail(errors.New("mapreduce: master closed"))
+		}
+	}
+	m.mu.Unlock()
+	close(m.stopMon)
+	m.monWG.Wait()
+	m.srv.Close()
+}
+
+// SetTenantWeight sets a tenant's fair-share weight (default 1);
+// slots are granted to the runnable job minimizing running/weight.
+func (m *Master) SetTenantWeight(tenant string, w int) {
+	if w <= 0 {
+		w = 1
+	}
+	m.mu.Lock()
+	m.weights[tenant] = w
+	m.mu.Unlock()
+}
+
+// LiveWorkers returns the IDs of workers currently considered alive.
+func (m *Master) LiveWorkers() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for id, w := range m.workers {
+		if w.alive {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Submit admits a job: resolves its template, builds splits, and
+// queues every map task. Workers pick tasks up on their next
+// heartbeat.
+func (m *Master) Submit(spec mrpc.JobSpec, tenant string) (*Job, error) {
+	cfg, err := m.cfg.Registry.Resolve(spec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.ShuffleMemory == 0 {
+		cfg.ShuffleMemory = m.cfg.ShuffleMemory
+	}
+	// Stamp the resolved shape back into the spec so every worker
+	// resolves the identical config (and spill boundaries match the
+	// single-process engine byte for byte).
+	spec.NumReducers = cfg.NumReducers
+	spec.ShuffleMemory = int64(cfg.ShuffleMemory)
+	splits, err := buildSplits(m.cfg.Cluster, cfg.Inputs)
+	if err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, errors.New("mapreduce: master closed")
+	}
+	m.jobSeq++
+	j := &Job{
+		ID:      fmt.Sprintf("mj-%06d", m.jobSeq),
+		master:  m,
+		tenant:  tenant,
+		spec:    spec,
+		cfg:     cfg,
+		splits:  splits,
+		shuf:    fmt.Sprintf("%s/_shuffle-d%d", trimDir(cfg.OutputDir), shuffleEpoch.Add(1)),
+		ctr:     &Counters{},
+		start:   time.Now(),
+		maps:    make([]mTask, len(splits)),
+		doneCh:  make(chan struct{}),
+		specCap: 2,
+	}
+	if !cfg.MapOnly {
+		j.reduces = make([]mTask, cfg.NumReducers)
+		j.ctr.add(&j.ctr.ReduceTasks, int64(cfg.NumReducers))
+	}
+	if n := (len(splits) + len(j.reduces)) / 4; n > j.specCap {
+		j.specCap = n
+	}
+	j.ctr.add(&j.ctr.MapTasks, int64(len(splits)))
+	for i := range j.maps {
+		j.maps[i].running = make(map[int]*mAttempt)
+		j.pendingMaps = append(j.pendingMaps, i)
+		j.maps[i].queued = true
+	}
+	for i := range j.reduces {
+		j.reduces[i].running = make(map[int]*mAttempt)
+	}
+	m.jobs[j.ID] = j
+	if j.mapsDone == len(j.maps) { // zero-split job
+		if cfg.MapOnly {
+			j.finalize()
+		} else {
+			j.enqueueReduces()
+		}
+	}
+	return j, nil
+}
+
+// Wait blocks until the job finishes and returns its result.
+func (j *Job) Wait() (*Result, error) {
+	<-j.doneCh
+	j.master.mu.Lock()
+	defer j.master.mu.Unlock()
+	if j.failed != nil {
+		return nil, j.failed
+	}
+	return &Result{
+		Counters:    j.ctr.snapshot(),
+		Duration:    j.durationLocked(),
+		OutputFiles: append([]string(nil), j.outputs...),
+	}, nil
+}
+
+func (j *Job) durationLocked() time.Duration {
+	if j.dur != 0 {
+		return j.dur
+	}
+	return time.Since(j.start)
+}
+
+func (j *Job) isDone() bool {
+	select {
+	case <-j.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// ---- protocol handlers ----
+
+func (m *Master) handleRegister(req *mrpc.RegisterRequest) (*mrpc.RegisterReply, error) {
+	if req.Worker == "" || req.Slots <= 0 {
+		return nil, errors.New("mapreduce: register needs worker id and slots")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-registration (fresh worker, or one back from presumed death)
+	// starts clean: any attempts tracked under the old incarnation
+	// were already re-queued when it was declared dead.
+	m.workers[req.Worker] = &mWorker{
+		id:       req.Worker,
+		addr:     req.Addr,
+		node:     req.Node,
+		slots:    req.Slots,
+		lastBeat: time.Now(),
+		alive:    true,
+		attempts: make(map[mrpc.AttemptID]*mAttempt),
+	}
+	return &mrpc.RegisterReply{
+		HeartbeatMS: m.cfg.Heartbeat.Milliseconds(),
+		LeaseMS:     m.cfg.Lease.Milliseconds(),
+	}, nil
+}
+
+func (m *Master) handleHeartbeat(req *mrpc.HeartbeatRequest) (*mrpc.HeartbeatReply, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.workers[req.Worker]
+	if !ok || !w.alive {
+		// Presumed dead (or never registered): the lease machinery
+		// already re-queued its work; make it start over.
+		return &mrpc.HeartbeatReply{Unknown: true}, nil
+	}
+	w.lastBeat = time.Now()
+	rep := &mrpc.HeartbeatReply{Kill: w.kill}
+	w.kill = nil
+	for _, p := range req.Running {
+		if att, ok := w.attempts[p.ID]; ok {
+			att.progress = p.Fraction
+		} else {
+			// The worker is running something the master no longer
+			// tracks (superseded while a kill was in flight).
+			rep.Kill = append(rep.Kill, p.ID)
+		}
+	}
+	for n := req.Free; n > 0; n-- {
+		a, ok := m.assignLocked(w)
+		if !ok {
+			break
+		}
+		rep.Assign = append(rep.Assign, a)
+	}
+	return rep, nil
+}
+
+// assignLocked picks one task for worker w: the runnable job with the
+// smallest running-slots/weight ratio, then that job's best task
+// (local pending maps first, then any pending map, then reduces once
+// all maps committed, then speculative backups).
+func (m *Master) assignLocked(w *mWorker) (mrpc.Assignment, bool) {
+	others := false
+	for _, o := range m.workers {
+		if o.alive && o.id != w.id {
+			others = true
+			break
+		}
+	}
+	tried := make(map[string]bool)
+	for {
+		var best *Job
+		var bestRatio float64
+		for _, j := range m.jobs {
+			if tried[j.ID] || j.failed != nil || j.isDone() || !j.hasWorkLocked() {
+				continue
+			}
+			weight := m.weights[j.tenant]
+			if weight <= 0 {
+				weight = 1
+			}
+			ratio := float64(j.runningSlots) / float64(weight)
+			if best == nil || ratio < bestRatio || (ratio == bestRatio && j.ID < best.ID) {
+				best, bestRatio = j, ratio
+			}
+		}
+		if best == nil {
+			return mrpc.Assignment{}, false
+		}
+		if a, ok := best.takeLocked(w, others); ok {
+			return a, true
+		}
+		// This job's available work should wait for a better-placed
+		// worker; try the next job in fair-share order.
+		tried[best.ID] = true
+	}
+}
+
+func (j *Job) hasWorkLocked() bool {
+	return len(j.pendingMaps) > 0 || len(j.pendingReds) > 0 || len(j.specQ) > 0
+}
+
+// phaseSpreadWindow is how many heartbeat intervals a reduce
+// assignment defers to spread a job's phase across workers (the
+// bounded-delay idiom from map locality scheduling, measured in time
+// so a burst of free-slot probes from one worker cannot burn the
+// window before anyone else beats): a worker already running one of
+// this job's reduces yields the next reduce for this long so that
+// one slow machine cannot quietly absorb the whole phase — with both
+// reduces of a 2-reducer job on the straggler, no sibling ever
+// commits and speculation has no median to project against.
+const phaseSpreadWindow = 4
+
+// takeLocked pops this job's best task for the worker and builds the
+// assignment, registering the attempt on worker and task. It returns
+// false when the only available work should wait for a better-placed
+// worker: a reduce spread-yield, or a speculative backup that would
+// land on the very worker running the original attempt.
+func (j *Job) takeLocked(w *mWorker, others bool) (mrpc.Assignment, bool) {
+	phase := mrpc.PhaseMap
+	idx := -1
+	spec := false
+	local := false
+	if len(j.pendingMaps) > 0 {
+		pick := 0
+		if j.cfg.Locality && w.node != "" {
+			for qi, t := range j.pendingMaps {
+				for _, loc := range j.splits[t].locations {
+					if loc == w.node {
+						pick, local = qi, true
+						break
+					}
+				}
+				if local {
+					break
+				}
+			}
+		}
+		idx = j.pendingMaps[pick]
+		j.pendingMaps = append(j.pendingMaps[:pick], j.pendingMaps[pick+1:]...)
+		j.maps[idx].queued = false
+	} else if len(j.pendingReds) > 0 {
+		idx = j.pendingReds[0]
+		if others && w.runsPhase(j.ID, mrpc.PhaseReduce) {
+			t := &j.reduces[idx]
+			now := time.Now()
+			if t.deferUntil.IsZero() {
+				t.deferUntil = now.Add(phaseSpreadWindow * j.master.cfg.Heartbeat)
+			}
+			if now.Before(t.deferUntil) {
+				return mrpc.Assignment{}, false
+			}
+		}
+		phase = mrpc.PhaseReduce
+		j.pendingReds = j.pendingReds[1:]
+		j.reduces[idx].queued = false
+	} else {
+		key := j.specQ[0]
+		if w.runsTask(key) {
+			// A backup raced on the straggler itself is no backup.
+			return mrpc.Assignment{}, false
+		}
+		j.specQ = j.specQ[1:]
+		phase, idx, spec = key.Phase, key.Task, true
+	}
+	t := j.task(phase, idx)
+	att := &mAttempt{
+		id:      mrpc.AttemptID{Job: j.ID, Phase: phase, Task: idx, Attempt: t.nextAttempt},
+		worker:  w.id,
+		started: time.Now(),
+		spec:    spec,
+		local:   local,
+	}
+	t.nextAttempt++
+	t.running[att.id.Attempt] = att
+	w.attempts[att.id] = att
+	j.runningSlots++
+	if phase == mrpc.PhaseMap && !spec {
+		if local {
+			j.ctr.add(&j.ctr.LocalTasks, 1)
+		} else {
+			j.ctr.add(&j.ctr.RemoteTasks, 1)
+		}
+	}
+	a := mrpc.Assignment{
+		ID:      att.id,
+		Spec:    j.spec,
+		ShufDir: j.shuf,
+		MapOnly: j.cfg.MapOnly,
+	}
+	out := trimDir(j.cfg.OutputDir)
+	if phase == mrpc.PhaseMap {
+		a.Split = j.splits[idx].ref()
+		if j.cfg.MapOnly {
+			a.OutFile = fmt.Sprintf("%s/part-m-%05d.a%d", out, idx, att.id.Attempt)
+		}
+	} else {
+		a.OutFile = fmt.Sprintf("%s/part-%05d.a%d", out, idx, att.id.Attempt)
+		a.MapOutputs = j.mapOutputsLocked()
+	}
+	return a, true
+}
+
+// mapOutputsLocked snapshots every committed map task's runs, stamped
+// with the shuffle address of the worker that wrote them when that
+// worker is still alive — dead owners leave Addr empty and reducers
+// go straight to the DFS spill files.
+func (j *Job) mapOutputsLocked() []mrpc.MapOutputRef {
+	out := make([]mrpc.MapOutputRef, 0, len(j.maps))
+	for t := range j.maps {
+		mt := &j.maps[t]
+		if len(mt.runs) == 0 {
+			continue
+		}
+		runs := make([]mrpc.RunRef, len(mt.runs))
+		copy(runs, mt.runs)
+		addr := ""
+		if w, ok := j.master.workers[mt.runWorker]; ok && w.alive {
+			addr = w.addr
+		}
+		for i := range runs {
+			runs[i].Addr = addr
+		}
+		out = append(out, mrpc.MapOutputRef{Task: t, Runs: runs})
+	}
+	return out
+}
+
+func (j *Job) task(phase string, idx int) *mTask {
+	if phase == mrpc.PhaseMap {
+		return &j.maps[idx]
+	}
+	return &j.reduces[idx]
+}
+
+func (m *Master) handleComplete(req *mrpc.CompleteRequest) (*mrpc.CompleteReply, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[req.ID.Job]
+	if !ok {
+		return &mrpc.CompleteReply{}, nil
+	}
+	t := j.task(req.ID.Phase, req.ID.Task)
+	att, tracked := t.running[req.ID.Attempt]
+	if tracked {
+		delete(t.running, req.ID.Attempt)
+		j.runningSlots--
+		if w, ok := m.workers[att.worker]; ok {
+			delete(w.attempts, req.ID)
+		}
+	}
+	if !tracked || t.committed || j.failed != nil || j.isDone() {
+		// Superseded, orphaned, or arriving after the job settled: the
+		// worker must discard the attempt's files.
+		return &mrpc.CompleteReply{}, nil
+	}
+	if req.Err != "" {
+		j.handleLostMaps(req.LostMaps)
+		t.failures++
+		j.ctr.add(&j.ctr.Retries, 1)
+		if t.failures >= m.cfg.MaxTaskFailures {
+			j.fail(fmt.Errorf("mapreduce: %s task %d failed %d times: %s",
+				req.ID.Phase, req.ID.Task, t.failures, req.Err))
+		} else {
+			j.requeue(req.ID.Phase, req.ID.Task)
+		}
+		return &mrpc.CompleteReply{}, nil
+	}
+	// First finisher wins. Reduce and map-only output commits by
+	// rename, so the name "part-NNNNN" only ever points at one
+	// attempt's complete bytes.
+	if req.OutFile != "" {
+		final := strings.TrimSuffix(req.OutFile, fmt.Sprintf(".a%d", req.ID.Attempt))
+		if err := m.store.Rename(req.OutFile, final); err != nil {
+			t.failures++
+			j.ctr.add(&j.ctr.Retries, 1)
+			if t.failures >= m.cfg.MaxTaskFailures {
+				j.fail(fmt.Errorf("mapreduce: commit %s: %w", req.OutFile, err))
+			} else {
+				j.requeue(req.ID.Phase, req.ID.Task)
+			}
+			return &mrpc.CompleteReply{}, nil
+		}
+		t.outFile = final
+	}
+	t.committed = true
+	t.runs = req.Runs
+	t.runWorker = req.Worker
+	j.foldCounters(req.Counters)
+	if att.spec {
+		j.ctr.add(&j.ctr.SpecWon, 1)
+	}
+	// Losing sibling attempts get kill orders on their next heartbeat.
+	for _, sib := range t.running {
+		if w, ok := m.workers[sib.worker]; ok {
+			w.kill = append(w.kill, sib.id)
+			delete(w.attempts, sib.id)
+		}
+		j.runningSlots--
+	}
+	clear(t.running)
+	if req.ID.Phase == mrpc.PhaseMap {
+		j.mapsDone++
+		j.mapDur = append(j.mapDur, time.Since(att.started))
+		if j.mapsDone == len(j.maps) {
+			if j.cfg.MapOnly {
+				j.finalize()
+			} else {
+				j.enqueueReduces()
+			}
+		}
+	} else {
+		j.redsDone++
+		j.redDur = append(j.redDur, time.Since(att.started))
+		if j.redsDone == len(j.reduces) {
+			j.finalize()
+		}
+	}
+	return &mrpc.CompleteReply{Accepted: true}, nil
+}
+
+// handleLostMaps resurrects committed map tasks whose spill runs a
+// reduce attempt could fetch neither from their worker nor from the
+// DFS. Only verifiably-gone output re-runs: if the spill files still
+// stat, the fetch failure was transient and the map's work stands.
+func (j *Job) handleLostMaps(lost []int) {
+	for _, t := range lost {
+		if t < 0 || t >= len(j.maps) {
+			continue
+		}
+		mt := &j.maps[t]
+		if !mt.committed {
+			continue
+		}
+		gone := false
+		for _, run := range mt.runs {
+			if _, err := j.master.store.Stat(run.File); err != nil {
+				gone = true
+				break
+			}
+		}
+		if !gone {
+			continue
+		}
+		mt.committed = false
+		mt.runs = nil
+		j.mapsDone--
+		j.ctr.add(&j.ctr.Retries, 1)
+		j.requeue(mrpc.PhaseMap, t)
+	}
+}
+
+// requeue puts a task back on its pending queue (no-op if queued or
+// already running elsewhere — a surviving sibling may still commit).
+func (j *Job) requeue(phase string, idx int) {
+	t := j.task(phase, idx)
+	if t.committed || t.queued || len(t.running) > 0 {
+		return
+	}
+	t.queued = true
+	if phase == mrpc.PhaseMap {
+		j.pendingMaps = append(j.pendingMaps, idx)
+	} else {
+		j.pendingReds = append(j.pendingReds, idx)
+	}
+}
+
+// enqueueReduces schedules every uncommitted reduce once all maps are
+// committed (again, after lost-map recovery).
+func (j *Job) enqueueReduces() {
+	for i := range j.reduces {
+		t := &j.reduces[i]
+		if !t.committed && !t.queued && len(t.running) == 0 {
+			t.queued = true
+			j.pendingReds = append(j.pendingReds, i)
+		}
+	}
+}
+
+func (j *Job) foldCounters(c mrpc.TaskCounters) {
+	j.ctr.add(&j.ctr.InputRecords, c.InputRecords)
+	j.ctr.add(&j.ctr.MapOutputRecords, c.MapOutputRecords)
+	j.ctr.add(&j.ctr.CombineInput, c.CombineInput)
+	j.ctr.add(&j.ctr.CombineOutput, c.CombineOutput)
+	j.ctr.add(&j.ctr.ReduceGroups, c.ReduceGroups)
+	j.ctr.add(&j.ctr.OutputRecords, c.OutputRecords)
+	j.ctr.add(&j.ctr.ShuffleBytes, c.ShuffleBytes)
+	j.ctr.add(&j.ctr.RemoteShuffleBytes, c.RemoteShuffle)
+	j.ctr.add(&j.ctr.SpillRuns, c.SpillRuns)
+	j.ctr.add(&j.ctr.SpillBytes, c.SpillBytes)
+	j.ctr.add(&j.ctr.MergeStreams, c.MergeStreams)
+}
+
+// fail settles the job as failed. Callers hold m.mu.
+func (j *Job) fail(err error) {
+	if j.failed != nil || j.isDone() {
+		return
+	}
+	j.failed = err
+	j.settle()
+}
+
+// finalize settles the job as succeeded: output files in task order,
+// committed spill runs deleted. Callers hold m.mu.
+func (j *Job) finalize() {
+	tasks := j.reduces
+	if j.cfg.MapOnly {
+		tasks = j.maps
+	}
+	j.outputs = j.outputs[:0]
+	for i := range tasks {
+		if tasks[i].outFile != "" {
+			j.outputs = append(j.outputs, tasks[i].outFile)
+		}
+	}
+	j.settle()
+}
+
+// settle kills stragglers, cleans committed shuffle state and closes
+// doneCh. Running attempts clean their own spills when the kill
+// lands; their completes arrive after settle and are rejected.
+func (j *Job) settle() {
+	j.dur = time.Since(j.start)
+	for ti := range j.maps {
+		t := &j.maps[ti]
+		j.killRunningLocked(t)
+		for _, run := range t.runs {
+			_ = j.master.store.Delete(run.File)
+		}
+		t.runs = nil
+	}
+	for ti := range j.reduces {
+		j.killRunningLocked(&j.reduces[ti])
+	}
+	close(j.doneCh)
+}
+
+func (j *Job) killRunningLocked(t *mTask) {
+	for _, att := range t.running {
+		if w, ok := j.master.workers[att.worker]; ok {
+			w.kill = append(w.kill, att.id)
+			delete(w.attempts, att.id)
+		}
+		j.runningSlots--
+	}
+	clear(t.running)
+}
+
+// ---- monitor: liveness + speculation ----
+
+func (m *Master) monitor() {
+	defer m.monWG.Done()
+	ticker := time.NewTicker(m.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopMon:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		now := time.Now()
+		for _, w := range m.workers {
+			if w.alive && now.Sub(w.lastBeat) > m.cfg.Lease {
+				m.declareDeadLocked(w)
+			}
+		}
+		for _, j := range m.jobs {
+			j.speculateLocked(now)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// declareDeadLocked expires a worker's lease: its in-flight attempts
+// are struck and their tasks re-queued. Its committed map runs stay
+// — the spill files live on the DFS — but reducers stop being
+// pointed at its shuffle server.
+func (m *Master) declareDeadLocked(w *mWorker) {
+	w.alive = false
+	for id, att := range w.attempts {
+		j, ok := m.jobs[id.Job]
+		if !ok {
+			continue
+		}
+		t := j.task(id.Phase, id.Task)
+		delete(t.running, id.Attempt)
+		j.runningSlots--
+		if !t.committed && j.failed == nil && !j.isDone() {
+			j.ctr.add(&j.ctr.Retries, 1)
+			j.requeue(id.Phase, id.Task)
+		}
+		_ = att
+	}
+	w.attempts = make(map[mrpc.AttemptID]*mAttempt)
+}
+
+// speculateLocked launches bounded backup attempts for stragglers:
+// when a phase has no fresh work pending and a task's single attempt
+// is projected (by reported progress rate, or elapsed time when
+// progress is unknown) to run well past the median committed
+// duration, a duplicate is queued. First finisher wins.
+func (j *Job) speculateLocked(now time.Time) {
+	if !j.cfg.Speculative || j.failed != nil || j.isDone() || j.specLaunched >= j.specCap {
+		return
+	}
+	if len(j.pendingMaps) > 0 || len(j.pendingReds) > 0 || len(j.specQ) > 0 {
+		return
+	}
+	phase, tasks, durs := mrpc.PhaseMap, j.maps, j.mapDur
+	if j.mapsDone == len(j.maps) {
+		if j.cfg.MapOnly {
+			return
+		}
+		phase, tasks, durs = mrpc.PhaseReduce, j.reduces, j.redDur
+	}
+	if len(durs) == 0 {
+		return
+	}
+	med := medianDuration(durs)
+	threshold := time.Duration(float64(med) * j.cfg.StragglerFactor)
+	for i := range tasks {
+		t := &tasks[i]
+		if t.committed || t.specStarted || len(t.running) != 1 {
+			continue
+		}
+		var att *mAttempt
+		for _, a := range t.running {
+			att = a
+		}
+		elapsed := now.Sub(att.started)
+		slow := elapsed > threshold
+		if !slow && att.progress > 0.01 && elapsed > med/2 {
+			// Progress-rate projection: a task crawling at 10% speed
+			// is flagged long before its elapsed time alone would be.
+			slow = time.Duration(float64(elapsed)/att.progress) > threshold
+		}
+		if !slow {
+			continue
+		}
+		t.specStarted = true
+		j.specQ = append(j.specQ, mrpc.TaskKey{Job: j.ID, Phase: phase, Task: i})
+		j.specLaunched++
+		j.ctr.add(&j.ctr.SpecLaunched, 1)
+		if j.specLaunched >= j.specCap {
+			return
+		}
+	}
+}
+
+// ---- DFS proxy: storage access for out-of-process workers ----
+
+func (m *Master) mountProxy(mux *http.ServeMux) {
+	c := m.cfg.Cluster
+	mrpc.Handle(mux, mrpc.PathProxyStat, func(req *struct {
+		Name string `json:"name"`
+	}) (*mrpc.StatReply, error) {
+		info, err := c.Stat(req.Name)
+		if err != nil {
+			return nil, proxyErr(err)
+		}
+		return &mrpc.StatReply{Size: int64(info.Size), Complete: info.Complete}, nil
+	})
+	mrpc.Handle(mux, mrpc.PathProxyDelete, func(req *struct {
+		Name string `json:"name"`
+	}) (*struct{}, error) {
+		if err := c.Delete(req.Name); err != nil {
+			return nil, proxyErr(err)
+		}
+		return &struct{}{}, nil
+	})
+	mrpc.Handle(mux, mrpc.PathProxyRename, func(req *struct {
+		Old string `json:"old"`
+		New string `json:"new"`
+	}) (*struct{}, error) {
+		if err := c.Rename(req.Old, req.New); err != nil {
+			return nil, proxyErr(err)
+		}
+		return &struct{}{}, nil
+	})
+	mux.HandleFunc("GET "+mrpc.PathProxyRead, func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		off, _ := strconv.ParseInt(q.Get("off"), 10, 64)
+		length, _ := strconv.ParseInt(q.Get("len"), 10, 64)
+		f, err := c.Open(q.Get("name"), q.Get("hint"))
+		if err != nil {
+			writeProxyErr(w, err)
+			return
+		}
+		defer f.Close()
+		w.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+		_, _ = io.Copy(w, io.NewSectionReader(f, off, length))
+	})
+	mux.HandleFunc("PUT "+mrpc.PathProxyCreate, func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		fw, err := c.Create(q.Get("name"), q.Get("hint"))
+		if err != nil {
+			writeProxyErr(w, err)
+			return
+		}
+		if _, err := io.Copy(fw, r.Body); err != nil {
+			_ = fw.Close()
+			_ = c.Delete(q.Get("name"))
+			writeProxyErr(w, err)
+			return
+		}
+		if err := fw.Close(); err != nil {
+			_ = c.Delete(q.Get("name"))
+			writeProxyErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+}
+
+func proxyErr(err error) error {
+	if errors.Is(err, dfs.ErrNotFound) {
+		return fmt.Errorf("%w: %v", mrpc.ErrNotFound, err)
+	}
+	return err
+}
+
+func writeProxyErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, dfs.ErrNotFound) {
+		mrpc.WriteError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	mrpc.WriteError(w, http.StatusInternalServerError, "internal", err.Error())
+}

@@ -1,0 +1,168 @@
+package mapreduce
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/mrpc"
+)
+
+// These tests drive the master's wire protocol directly — no Worker
+// runtime — to pin the liveness and commit-arbitration edges: lease
+// expiry re-queues leased tasks, a late heartbeat from a
+// presumed-dead worker gets Unknown, and a complete from a superseded
+// attempt is rejected while the successor's is accepted.
+
+func protoMaster(t *testing.T) (*Master, *mrpc.Client) {
+	t.Helper()
+	c := testCluster(3, 4096) // one block → exactly one map task
+	if err := writeCorpus(c, "/in/one", wcCorpus(10)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMaster(MasterConfig{
+		Cluster:   c,
+		Registry:  testTemplates(),
+		Heartbeat: 5 * time.Millisecond,
+		Lease:     25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, mrpc.NewClient(m.URL())
+}
+
+func register(t *testing.T, cl *mrpc.Client, id string) {
+	t.Helper()
+	var rep mrpc.RegisterReply
+	err := cl.Call(mrpc.PathRegister, &mrpc.RegisterRequest{Worker: id, Addr: "127.0.0.1:1", Slots: 1}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LeaseMS != 25 {
+		t.Fatalf("lease = %dms, want 25", rep.LeaseMS)
+	}
+}
+
+func beat(t *testing.T, cl *mrpc.Client, id string, free int, running []mrpc.Progress) mrpc.HeartbeatReply {
+	t.Helper()
+	var rep mrpc.HeartbeatReply
+	err := cl.Call(mrpc.PathHeartbeat, &mrpc.HeartbeatRequest{Worker: id, Free: free, Running: running}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// takeAssignment heartbeats until the master hands id one task.
+func takeAssignment(t *testing.T, cl *mrpc.Client, id string) mrpc.Assignment {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		rep := beat(t, cl, id, 1, nil)
+		if rep.Unknown {
+			t.Fatal("unexpected Unknown for registered worker")
+		}
+		if len(rep.Assign) > 0 {
+			return rep.Assign[0]
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no assignment before deadline")
+	return mrpc.Assignment{}
+}
+
+func TestLeaseExpiryRequeuesTask(t *testing.T) {
+	m, cl := protoMaster(t)
+	if _, err := m.Submit(mrpc.JobSpec{Name: "wc", Inputs: []string{"/in/one"}, OutputDir: "/out/l1"}, "t"); err != nil {
+		t.Fatal(err)
+	}
+	register(t, cl, "u1")
+	a1 := takeAssignment(t, cl, "u1")
+	if a1.ID.Attempt != 0 {
+		t.Fatalf("first lease is attempt %d, want 0", a1.ID.Attempt)
+	}
+	// u1 goes silent past its lease: the master must declare it dead
+	// and hand the same task to a newcomer as a fresh attempt.
+	time.Sleep(60 * time.Millisecond)
+	if live := m.LiveWorkers(); len(live) != 0 {
+		t.Fatalf("workers still live after lease expiry: %v", live)
+	}
+	register(t, cl, "u2")
+	a2 := takeAssignment(t, cl, "u2")
+	if a2.ID.TaskKey() != a1.ID.TaskKey() {
+		t.Fatalf("requeued task %v, want %v", a2.ID.TaskKey(), a1.ID.TaskKey())
+	}
+	if a2.ID.Attempt <= a1.ID.Attempt {
+		t.Fatalf("reissued lease reuses attempt number %d", a2.ID.Attempt)
+	}
+}
+
+func TestLateHeartbeatFromPresumedDeadWorker(t *testing.T) {
+	m, cl := protoMaster(t)
+	register(t, cl, "u1")
+	if rep := beat(t, cl, "u1", 1, nil); rep.Unknown {
+		t.Fatal("live worker told it is unknown")
+	}
+	time.Sleep(60 * time.Millisecond)
+	rep := beat(t, cl, "u1", 1, nil)
+	if !rep.Unknown {
+		t.Fatal("presumed-dead worker's heartbeat not answered with Unknown")
+	}
+	if len(rep.Assign) != 0 {
+		t.Fatal("dead worker handed work")
+	}
+	// Re-registering restores service.
+	register(t, cl, "u1")
+	if rep := beat(t, cl, "u1", 1, nil); rep.Unknown {
+		t.Fatal("re-registered worker still unknown")
+	}
+	if len(m.LiveWorkers()) != 1 {
+		t.Fatalf("live workers = %v", m.LiveWorkers())
+	}
+	// An unregistered worker's running attempt is unknown too; its
+	// heartbeat must not panic the master.
+	rep = beat(t, cl, "ghost", 0, []mrpc.Progress{{ID: mrpc.AttemptID{Job: "mj-000001", Phase: "map"}}})
+	if !rep.Unknown {
+		t.Fatal("never-registered worker not told Unknown")
+	}
+}
+
+func TestSupersededCompleteRejected(t *testing.T) {
+	m, cl := protoMaster(t)
+	if _, err := m.Submit(mrpc.JobSpec{Name: "wc", Inputs: []string{"/in/one"}, OutputDir: "/out/l3"}, "t"); err != nil {
+		t.Fatal(err)
+	}
+	register(t, cl, "u1")
+	a1 := takeAssignment(t, cl, "u1")
+	time.Sleep(60 * time.Millisecond) // u1's lease lapses mid-task
+	register(t, cl, "u2")
+	a2 := takeAssignment(t, cl, "u2")
+	if a2.ID.TaskKey() != a1.ID.TaskKey() {
+		t.Fatalf("successor got %v, want %v", a2.ID.TaskKey(), a1.ID.TaskKey())
+	}
+	// The dead-then-revived u1 finishes its superseded attempt late.
+	var rep mrpc.CompleteReply
+	err := cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u1", ID: a1.ID}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("superseded attempt's completion accepted")
+	}
+	// The live successor's completion is accepted — once.
+	err = cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Fatal("successor attempt's completion rejected")
+	}
+	err = cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Fatal("duplicate completion accepted twice")
+	}
+}

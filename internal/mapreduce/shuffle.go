@@ -88,14 +88,14 @@ func (e *engine) reduceAttempt(p int, node string, attempt int, name string) (er
 	}
 	defer closeStreams()
 
-	w, err := e.cluster.Create(name, node)
+	w, err := e.rt.store.Create(name, node)
 	if err != nil {
 		return err
 	}
 	defer func() {
 		if err != nil {
 			_ = w.Close() // idempotent; releases the pooled block buffer
-			_ = e.cluster.Delete(name)
+			_ = e.rt.store.Delete(name)
 		}
 	}()
 	out := io.Writer(w)
@@ -103,76 +103,18 @@ func (e *engine) reduceAttempt(p int, node string, attempt int, name string) (er
 		out = e.cfg.reduceWriter(p, attempt, node, w)
 	}
 
-	var outRecords, groups int64
-	var werr error
-	var line []byte
-	emit := func(key string, value []byte) {
-		if werr != nil {
-			return
-		}
-		line = append(line[:0], key...)
-		line = append(line, '\t')
-		line = append(line, value...)
-		line = append(line, '\n')
-		if _, e2 := out.Write(line); e2 != nil {
-			werr = e2
-			return
-		}
-		outRecords++
-	}
-
-	red := e.cfg.streamingReducer()
-	for {
-		head, ok := m.peek()
-		if !ok {
-			break
-		}
-		key := head.key
-		vals := &Values{m: m, key: key}
-		if rerr := red.ReduceStream(key, vals, emit); rerr != nil {
-			return fmt.Errorf("mapreduce: reduce partition %d key %q: %w", p, key, rerr)
-		}
-		vals.drain()
-		if vals.err != nil {
-			return vals.err
-		}
-		if werr != nil {
-			return werr
-		}
-		groups++
+	lw := &lineWriter{w: out}
+	groups, err := drainGroups(m, e.cfg.streamingReducer(), lw.emit, lw.fail)
+	if err != nil {
+		return fmt.Errorf("mapreduce: reduce partition %d: %w", p, err)
 	}
 	if cerr := w.Close(); cerr != nil {
 		return cerr
 	}
 	e.ctr.add(&e.ctr.ReduceGroups, groups)
-	e.ctr.add(&e.ctr.OutputRecords, outRecords)
+	e.ctr.add(&e.ctr.OutputRecords, lw.n)
 	e.ctr.add(&e.ctr.ShuffleBytes, m.bytes)
 	return nil
-}
-
-// appendTaskSources appends the merge sources for one task's
-// partition p: a streaming cursor per spilled run segment (empty
-// segments skipped), then the final in-memory run, carrying the
-// (task, run) tie-break indexes the merge's determinism relies on —
-// spills in spill order, the in-memory run last. Cursors opened
-// before a failure are still appended so the caller can close them.
-func (e *engine) appendTaskSources(srcs []mergeSource, cursors []*spillCursor,
-	out *taskOutput, task, p int, node string) ([]mergeSource, []*spillCursor, error) {
-	for ri, run := range out.spills {
-		cur, err := openSpillCursor(e.cluster, run, p, node)
-		if err != nil {
-			return srcs, cursors, err
-		}
-		if cur == nil {
-			continue // empty segment
-		}
-		cursors = append(cursors, cur)
-		srcs = append(srcs, mergeSource{s: cur, task: task, run: ri})
-	}
-	if p < len(out.mem) && len(out.mem[p]) > 0 {
-		srcs = append(srcs, mergeSource{s: &memStream{pairs: out.mem[p]}, task: task, run: len(out.spills)})
-	}
-	return srcs, cursors, nil
 }
 
 // openPartition builds the merge inputs for partition p across every
@@ -190,7 +132,7 @@ func (e *engine) openPartition(p int, node string) (*merger, func(), error) {
 		if out == nil {
 			continue
 		}
-		srcs, cursors, err = e.appendTaskSources(srcs, cursors, out, t, p, node)
+		srcs, cursors, err = e.rt.appendTaskSources(srcs, cursors, out, t, p, node)
 		if err != nil {
 			closeAll()
 			return nil, nil, err

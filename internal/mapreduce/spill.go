@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
-
-	"repro/internal/dfs"
 )
 
 // Map-side spilling: when a map task's accumulated intermediate pairs
@@ -65,10 +63,10 @@ type taskOutput struct {
 // writeSpill sorts nothing — parts must already be sorted/combined —
 // and streams one run into a new DFS file via the pooled block
 // writer, returning the run's segment index.
-func (e *engine) writeSpill(node string, task int, parts [][]kv) (*spillRun, error) {
-	seq := e.spillSeq.Add(1)
-	name := fmt.Sprintf("%s/spill-%05d-%06d", e.shufDir, task, seq)
-	w, err := e.cluster.Create(name, node)
+func (rt *taskRuntime) writeSpill(node string, task int, parts [][]kv) (*spillRun, error) {
+	seq := rt.spillSeq.Add(1)
+	name := fmt.Sprintf("%s/spill-%s%05d-%06d", rt.shufDir, rt.spillTag, task, seq)
+	w, err := rt.store.Create(name, node)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +84,7 @@ func (e *engine) writeSpill(node string, task int, parts [][]kv) (*spillRun, err
 			}
 			if err != nil {
 				_ = w.Close()
-				_ = e.cluster.Delete(name)
+				_ = rt.store.Delete(name)
 				return nil, fmt.Errorf("mapreduce: spill %s: %w", name, err)
 			}
 			off += int64(len(scratch) + len(pr.val))
@@ -94,22 +92,22 @@ func (e *engine) writeSpill(node string, task int, parts [][]kv) (*spillRun, err
 		run.segs[p] = spillSeg{off: start, length: off - start, records: len(pairs)}
 	}
 	if err := w.Close(); err != nil {
-		_ = e.cluster.Delete(name)
+		_ = rt.store.Delete(name)
 		return nil, fmt.Errorf("mapreduce: spill %s: %w", name, err)
 	}
-	e.ctr.add(&e.ctr.SpillRuns, 1)
-	e.ctr.add(&e.ctr.SpillBytes, off)
+	rt.ctr.add(&rt.ctr.SpillRuns, 1)
+	rt.ctr.add(&rt.ctr.SpillBytes, off)
 	return run, nil
 }
 
 // discardOutput deletes an uncommitted attempt's spill files — losing
 // speculative attempts and failed attempts clean up after themselves.
-func (e *engine) discardOutput(out *taskOutput) {
+func (rt *taskRuntime) discardOutput(out *taskOutput) {
 	if out == nil {
 		return
 	}
 	for _, run := range out.spills {
-		_ = e.cluster.Delete(run.file)
+		_ = rt.store.Delete(run.file)
 	}
 }
 
@@ -119,13 +117,13 @@ func (e *engine) discardOutput(out *taskOutput) {
 // e.failed under the same lock and discard their own output instead
 // of committing, so every spill file has exactly one owner.
 func (e *engine) cleanupShuffle() {
-	if e.spillSeq.Load() == 0 {
+	if e.rt.spillSeq.Load() == 0 {
 		return
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, out := range e.mapOut {
-		e.discardOutput(out)
+		e.rt.discardOutput(out)
 	}
 }
 
@@ -134,7 +132,7 @@ func (e *engine) cleanupShuffle() {
 // slices handed to the merge stay valid after the cursor advances —
 // the contract Values.Next exposes to reducers.
 type spillCursor struct {
-	r      *dfs.FileReader
+	r      File // nil for in-memory (fetched) segments
 	br     *bufio.Reader
 	file   string
 	left   int
@@ -144,12 +142,12 @@ type spillCursor struct {
 
 // openSpillCursor positions a streaming reader over run's segment for
 // partition p. Returns nil for an empty segment.
-func openSpillCursor(cluster *dfs.Cluster, run *spillRun, p int, node string) (*spillCursor, error) {
+func openSpillCursor(store Store, run *spillRun, p int, node string) (*spillCursor, error) {
 	seg := run.segs[p]
 	if seg.records == 0 {
 		return nil, nil
 	}
-	r, err := cluster.Open(run.file, node)
+	r, err := store.Open(run.file, node)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: open spill %s: %w", run.file, err)
 	}

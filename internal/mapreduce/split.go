@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"repro/internal/dfs"
+	"repro/internal/mrpc"
 )
 
 // split is one schedulable unit of input: a block-aligned byte range
@@ -51,13 +52,23 @@ func buildSplits(cluster *dfs.Cluster, inputs []string) ([]split, error) {
 	return out, nil
 }
 
+// ref converts a split to its wire form.
+func (s split) ref() *mrpc.SplitRef {
+	return &mrpc.SplitRef{File: s.file, Offset: s.offset, Length: s.length}
+}
+
+// fromRef rebuilds a schedulable split from its wire form.
+func fromRef(r *mrpc.SplitRef) split {
+	return split{file: r.File, offset: r.Offset, length: r.Length}
+}
+
 // readRecords feeds a split's records to fn according to the format.
-// node is the reading task's node, passed to dfs as locality hint.
-func readRecords(cluster *dfs.Cluster, s split, format InputFormat, node string,
+// node is the reading task's node, passed to the store as locality hint.
+func readRecords(store Store, s split, format InputFormat, node string,
 	fn func(key string, value []byte) error) error {
 	switch format {
 	case WholeSplitInput:
-		r, err := cluster.Open(s.file, node)
+		r, err := store.Open(s.file, node)
 		if err != nil {
 			return err
 		}
@@ -69,7 +80,7 @@ func readRecords(cluster *dfs.Cluster, s split, format InputFormat, node string,
 		key := fmt.Sprintf("%s:%d", s.file, s.offset)
 		return fn(key, buf)
 	case TextInput:
-		return readTextRecords(cluster, s, node, fn)
+		return readTextRecords(store, s, node, fn)
 	}
 	return fmt.Errorf("mapreduce: unknown input format %d", format)
 }
@@ -78,9 +89,9 @@ func readRecords(cluster *dfs.Cluster, s split, format InputFormat, node string,
 // a split that does not start at offset zero discards the first
 // (partial) line; every split reads its final line to completion even
 // when that crosses into the next block.
-func readTextRecords(cluster *dfs.Cluster, s split, node string,
+func readTextRecords(store Store, s split, node string,
 	fn func(key string, value []byte) error) error {
-	r, err := cluster.Open(s.file, node)
+	r, err := store.Open(s.file, node)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,252 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+
+	"repro/internal/dfs"
+	"repro/internal/mrpc"
+)
+
+// Store is the storage surface a task runtime needs: open-for-read
+// with random access, create-stream, delete, and rename-to-commit.
+// In-process workers bind it straight to the *dfs.Cluster; a worker
+// in another process binds it to the master's DFS proxy, so task
+// code never knows which side of the network its blocks live on.
+type Store interface {
+	Open(name, hint string) (File, error)
+	Create(name, hint string) (io.WriteCloser, error)
+	Delete(name string) error
+	Rename(oldName, newName string) error
+	Stat(name string) (size int64, err error)
+}
+
+// File is a readable handle with random access, the subset of
+// dfs.FileReader the merge cursors and record readers use.
+type File interface {
+	io.ReadCloser
+	io.ReaderAt
+	io.Seeker
+}
+
+// dfsStore adapts *dfs.Cluster to Store.
+type dfsStore struct{ c *dfs.Cluster }
+
+// NewDFSStore wraps a cluster as a task-runtime Store.
+func NewDFSStore(c *dfs.Cluster) Store { return dfsStore{c} }
+
+func (s dfsStore) Open(name, hint string) (File, error) { return s.c.Open(name, hint) }
+func (s dfsStore) Create(name, hint string) (io.WriteCloser, error) {
+	return s.c.Create(name, hint)
+}
+func (s dfsStore) Delete(name string) error             { return s.c.Delete(name) }
+func (s dfsStore) Rename(oldName, newName string) error { return s.c.Rename(oldName, newName) }
+func (s dfsStore) Stat(name string) (int64, error) {
+	info, err := s.c.Stat(name)
+	if err != nil {
+		return 0, err
+	}
+	return int64(info.Size), nil
+}
+
+// IsNotFound reports whether err means the file does not exist, on
+// either side of the proxy boundary.
+func IsNotFound(err error) bool {
+	return errors.Is(err, dfs.ErrNotFound) || errors.Is(err, mrpc.ErrNotFound)
+}
+
+// proxyStore reaches the master's DFS through its /dfsproxy/v1
+// endpoints — the storage path for out-of-process lsdf-worker
+// runtimes. Reads are ranged GETs; the bufio layers above (record
+// readers, merge cursors) keep the request count per task small.
+type proxyStore struct{ c *mrpc.Client }
+
+// NewProxyStore returns a Store served by the DFS proxy at the
+// master base URL.
+func NewProxyStore(masterURL string) Store {
+	return proxyStore{c: mrpc.NewClient(masterURL)}
+}
+
+func (s proxyStore) Stat(name string) (int64, error) {
+	var rep mrpc.StatReply
+	if err := s.c.Call(mrpc.PathProxyStat, struct {
+		Name string `json:"name"`
+	}{name}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Size, nil
+}
+
+func (s proxyStore) Open(name, hint string) (File, error) {
+	size, err := s.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	return &proxyFile{s: s, name: name, hint: hint, size: size}, nil
+}
+
+func (s proxyStore) Create(name, hint string) (io.WriteCloser, error) {
+	pr, pw := io.Pipe()
+	pf := &proxyWriter{pw: pw, done: make(chan error, 1)}
+	go func() {
+		q := url.Values{"name": {name}, "hint": {hint}}
+		err := s.c.Put(mrpc.PathProxyCreate+"?"+q.Encode(), pr)
+		_ = pr.CloseWithError(err)
+		pf.done <- err
+	}()
+	return pf, nil
+}
+
+func (s proxyStore) Delete(name string) error {
+	return s.c.Call(mrpc.PathProxyDelete, struct {
+		Name string `json:"name"`
+	}{name}, nil)
+}
+
+func (s proxyStore) Rename(oldName, newName string) error {
+	return s.c.Call(mrpc.PathProxyRename, struct {
+		Old string `json:"old"`
+		New string `json:"new"`
+	}{oldName, newName}, nil)
+}
+
+// proxyWriter streams a create through a pipe; Close waits for the
+// proxy's verdict so acknowledged writes are really on the DFS.
+type proxyWriter struct {
+	pw   *io.PipeWriter
+	done chan error
+}
+
+func (w *proxyWriter) Write(p []byte) (int, error) { return w.pw.Write(p) }
+func (w *proxyWriter) Close() error {
+	_ = w.pw.Close()
+	return <-w.done
+}
+
+// proxyFile satisfies File over ranged proxy reads.
+type proxyFile struct {
+	s    proxyStore
+	name string
+	hint string
+	size int64
+	pos  int64
+}
+
+func (f *proxyFile) ReadAt(p []byte, off int64) (int, error) {
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > f.size {
+		n = f.size - off
+	}
+	q := url.Values{
+		"name": {f.name},
+		"hint": {f.hint},
+		"off":  {strconv.FormatInt(off, 10)},
+		"len":  {strconv.FormatInt(n, 10)},
+	}
+	body, err := f.s.c.Get(mrpc.PathProxyRead + "?" + q.Encode())
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	got, err := io.ReadFull(body, p[:n])
+	if err != nil {
+		return got, err
+	}
+	if int64(got) < int64(len(p)) {
+		return got, io.EOF
+	}
+	return got, nil
+}
+
+func (f *proxyFile) Read(p []byte) (int, error) {
+	n, err := f.ReadAt(p, f.pos)
+	f.pos += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+func (f *proxyFile) Seek(offset int64, whence int) (int64, error) {
+	switch whence {
+	case io.SeekStart:
+		f.pos = offset
+	case io.SeekCurrent:
+		f.pos += offset
+	case io.SeekEnd:
+		f.pos = f.size + offset
+	default:
+		return 0, fmt.Errorf("mapreduce: bad whence %d", whence)
+	}
+	if f.pos < 0 {
+		return 0, fmt.Errorf("mapreduce: negative seek")
+	}
+	return f.pos, nil
+}
+
+func (f *proxyFile) Close() error { return nil }
+
+// fetchSegment reads one spill segment, preferring the shuffle server
+// of the worker that wrote the run and falling back to the store when
+// that worker is unreachable — the network shuffle with DFS as the
+// durable second copy. remote reports whether bytes came over HTTP.
+func fetchSegment(store Store, run mrpc.RunRef, p int, hint string) (data []byte, remote bool, err error) {
+	seg := run.Segs[p]
+	if seg.Records == 0 {
+		return nil, false, nil
+	}
+	if run.Addr != "" {
+		if data, err = fetchRemoteSegment(run, seg); err == nil {
+			return data, true, nil
+		}
+		// Fall through: the serving worker is gone or refused; the
+		// spill file itself may still be readable from the DFS.
+	}
+	f, err := store.Open(run.File, hint)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	data = make([]byte, seg.Len)
+	if _, err := f.ReadAt(data, seg.Off); err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func fetchRemoteSegment(run mrpc.RunRef, seg mrpc.SegRef) ([]byte, error) {
+	c := mrpc.NewClient("http://" + run.Addr)
+	q := url.Values{
+		"file": {run.File},
+		"off":  {strconv.FormatInt(seg.Off, 10)},
+		"len":  {strconv.FormatInt(seg.Len, 10)},
+	}
+	body, err := c.Get(mrpc.PathSegment + "?" + q.Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	data := make([]byte, seg.Len)
+	if _, err := io.ReadFull(body, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// newByteCursor streams a fetched segment's records — the remote
+// twin of openSpillCursor.
+func newByteCursor(data []byte, records int, file string) *spillCursor {
+	return &spillCursor{
+		br:   bufio.NewReader(bytes.NewReader(data)),
+		file: file,
+		left: records,
+	}
+}

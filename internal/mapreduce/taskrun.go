@@ -1,0 +1,336 @@
+package mapreduce
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+func stableSortByKey(pairs []kv) {
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+}
+
+// taskRuntime is the execution machinery shared by the in-process
+// engine and the distributed worker: running a mapper over a split
+// with sort-spill under the shuffle budget, combining, writing and
+// reading spill runs, and merging runs back into reducers. The engine
+// binds one runtime per job against the cluster directly; a worker
+// binds one per attempt against its Store (local DFS or the master's
+// proxy) with attempt-scoped spill names and progress/cancel hooks.
+type taskRuntime struct {
+	store    Store
+	cfg      Config // defaults applied
+	ctr      *Counters
+	shufDir  string
+	spillSeq *atomic.Int64
+	spillTag string // attempt-scoping prefix in spill names; "" in-process
+
+	// spillAll makes finish() spill the final run instead of keeping
+	// it in memory — distributed map output must be entirely on the
+	// DFS so reducers elsewhere can fetch it. Run contents and order
+	// are unchanged, which preserves byte-identical job output.
+	spillAll bool
+
+	// Worker-side hooks; nil in-process.
+	stepDelay time.Duration      // injected per-record delay (straggler experiments)
+	progress  func(frac float64) // consumed-input fraction updates
+	cancelled func() bool        // polled in the record loop; true aborts
+}
+
+// errCancelled aborts an attempt the master ordered killed.
+var errCancelled = fmt.Errorf("mapreduce: attempt cancelled")
+
+// mapCollector accumulates a map attempt's partitioned output under
+// the shuffle memory budget, spilling sorted runs to the store when
+// the budget fills. It is per-attempt and single-goroutine.
+type mapCollector struct {
+	rt    *taskRuntime
+	node  string
+	task  int
+	parts [][]kv
+	arena byteArena
+	mem   int64
+	err   error // first spill/combine failure; latched
+	out   taskOutput
+}
+
+func (c *mapCollector) add(key string, value []byte) {
+	p := partition(key, len(c.parts))
+	c.parts[p] = append(c.parts[p], kv{key: key, val: c.arena.copy(value)})
+	c.mem += int64(len(key)) + int64(len(value)) + kvOverhead
+	if budget := int64(c.rt.cfg.ShuffleMemory); budget > 0 && c.mem >= budget {
+		c.spill()
+	}
+}
+
+// spill sorts+combines the buffered run, writes it to the store and
+// resets the buffer. Errors latch into c.err; the attempt surfaces
+// them after the mapper returns.
+func (c *mapCollector) spill() {
+	if c.err != nil {
+		return
+	}
+	parts, err := c.rt.sortAndCombine(c.parts)
+	if err != nil {
+		c.err = err
+		return
+	}
+	run, err := c.rt.writeSpill(c.node, c.task, parts)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.out.spills = append(c.out.spills, run)
+	c.parts = make([][]kv, len(c.parts))
+	c.arena = byteArena{}
+	c.mem = 0
+}
+
+// finish sorts+combines the final run. It stays in memory unless the
+// runtime demands everything on the store (distributed mode), in
+// which case it becomes the last spilled run — same contents, same
+// run index, so merge order is unchanged.
+func (c *mapCollector) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	parts, err := c.rt.sortAndCombine(c.parts)
+	if err != nil {
+		return err
+	}
+	if c.rt.spillAll {
+		empty := true
+		for _, p := range parts {
+			if len(p) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return nil
+		}
+		run, err := c.rt.writeSpill(c.node, c.task, parts)
+		if err != nil {
+			return err
+		}
+		c.out.spills = append(c.out.spills, run)
+		return nil
+	}
+	c.out.mem = parts
+	return nil
+}
+
+// executeMap runs the mapper over one split and returns the task's
+// output: spilled runs plus (in-process) the final in-memory run,
+// each sorted and combined. On error, spill files already written
+// are deleted.
+func (rt *taskRuntime) executeMap(node string, task int, s split) (out *taskOutput, records, outRecords int64, err error) {
+	col := &mapCollector{rt: rt, node: node, task: task, parts: make([][]kv, rt.cfg.NumReducers)}
+	emit := func(key string, value []byte) {
+		if col.err != nil {
+			return // a spill failed; drop further output
+		}
+		col.add(key, value)
+		outRecords++
+	}
+	var consumed int64
+	err = readRecords(rt.store, s, rt.cfg.Format, node, func(key string, value []byte) error {
+		records++
+		if rt.stepDelay > 0 {
+			time.Sleep(rt.stepDelay)
+		}
+		if rt.cancelled != nil && rt.cancelled() {
+			return errCancelled
+		}
+		if rt.progress != nil && s.length > 0 {
+			consumed += int64(len(value)) + 1
+			if frac := float64(consumed) / float64(s.length); frac < 1 {
+				rt.progress(frac)
+			}
+		}
+		if merr := rt.cfg.Mapper.Map(key, value, emit); merr != nil {
+			return merr
+		}
+		return col.err // abort the record loop on spill failure
+	})
+	if err == nil {
+		err = col.finish()
+	}
+	if err != nil {
+		rt.discardOutput(&col.out)
+		return nil, 0, 0, err
+	}
+	return &col.out, records, outRecords, nil
+}
+
+// sortAndCombine stable-sorts each partition by key (preserving
+// emission order within a key) and folds it through the combiner if
+// one is configured.
+func (rt *taskRuntime) sortAndCombine(parts [][]kv) ([][]kv, error) {
+	for p := range parts {
+		stableSortByKey(parts[p])
+	}
+	if rt.cfg.Combiner != nil {
+		for p := range parts {
+			combined, cerr := rt.combine(parts[p])
+			if cerr != nil {
+				return nil, cerr
+			}
+			parts[p] = combined
+		}
+	}
+	return parts, nil
+}
+
+// combine folds a sorted run of pairs through the combiner.
+func (rt *taskRuntime) combine(sorted []kv) ([]kv, error) {
+	var out []kv
+	var arena byteArena
+	emit := func(key string, value []byte) {
+		out = append(out, kv{key: key, val: arena.copy(value)})
+	}
+	i := 0
+	for i < len(sorted) {
+		j := i
+		for j < len(sorted) && sorted[j].key == sorted[i].key {
+			j++
+		}
+		vals := make([][]byte, 0, j-i)
+		for _, p := range sorted[i:j] {
+			vals = append(vals, p.val)
+		}
+		rt.ctr.add(&rt.ctr.CombineInput, int64(j-i))
+		if err := rt.cfg.Combiner.Reduce(sorted[i].key, vals, emit); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	rt.ctr.add(&rt.ctr.CombineOutput, int64(len(out)))
+	// Combiner output for a sorted input is sorted as long as the
+	// combiner emits the group key; enforce for safety.
+	stableSortByKey(out)
+	return out, nil
+}
+
+// appendTaskSources appends the merge sources for one task's
+// partition p: a streaming cursor per spilled run segment (empty
+// segments skipped), then the final in-memory run, carrying the
+// (task, run) tie-break indexes the merge's determinism relies on —
+// spills in spill order, the in-memory run last. Cursors opened
+// before a failure are still appended so the caller can close them.
+func (rt *taskRuntime) appendTaskSources(srcs []mergeSource, cursors []*spillCursor,
+	out *taskOutput, task, p int, node string) ([]mergeSource, []*spillCursor, error) {
+	for ri, run := range out.spills {
+		cur, err := openSpillCursor(rt.store, run, p, node)
+		if err != nil {
+			return srcs, cursors, err
+		}
+		if cur == nil {
+			continue // empty segment
+		}
+		cursors = append(cursors, cur)
+		srcs = append(srcs, mergeSource{s: cur, task: task, run: ri})
+	}
+	if p < len(out.mem) && len(out.mem[p]) > 0 {
+		srcs = append(srcs, mergeSource{s: &memStream{pairs: out.mem[p]}, task: task, run: len(out.spills)})
+	}
+	return srcs, cursors, nil
+}
+
+// writeMapOutput streams one task's partitions, in partition order,
+// each merged across its runs — Hadoop's NumReduceTasks=0 output
+// path. With a combiner configured, merged groups are re-folded
+// through it: each spilled run was combined independently, so without
+// the re-fold a spilled map-only job would emit partial aggregates
+// where the in-memory path emits one combined record per key.
+func (rt *taskRuntime) writeMapOutput(name, node string, task int, out *taskOutput) error {
+	w, err := rt.store.Create(name, node)
+	if err != nil {
+		return err
+	}
+	lw := &lineWriter{w: w}
+	var refold StreamReducer = identityStreamReducer{}
+	if rt.cfg.Combiner != nil && len(out.spills) > 0 {
+		refold = streamAdapter{rt.cfg.Combiner}
+	}
+	for p := 0; p < rt.cfg.NumReducers; p++ {
+		srcs, cursors, err := rt.appendTaskSources(nil, nil, out, task, p, node)
+		var m *merger
+		if err == nil {
+			rt.ctr.add(&rt.ctr.MergeStreams, int64(len(srcs)))
+			m, err = newMerger(srcs)
+		}
+		if err == nil {
+			_, err = drainGroups(m, refold, lw.emit, lw.fail)
+		}
+		for _, c := range cursors {
+			c.close()
+		}
+		if err != nil {
+			_ = w.Close()
+			return err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	rt.ctr.add(&rt.ctr.OutputRecords, lw.n)
+	return nil
+}
+
+// drainGroups streams merged groups through red: one Values cursor
+// per key, drained after the reducer returns so early-stopping
+// reducers still advance the merge. wfail, when non-nil, surfaces a
+// latched output-write failure after each group.
+func drainGroups(m *merger, red StreamReducer, emit Emit, wfail func() error) (groups int64, err error) {
+	for {
+		head, ok := m.peek()
+		if !ok {
+			return groups, nil
+		}
+		key := head.key
+		vals := &Values{m: m, key: key}
+		if rerr := red.ReduceStream(key, vals, emit); rerr != nil {
+			return groups, fmt.Errorf("mapreduce: reduce key %q: %w", key, rerr)
+		}
+		vals.drain()
+		if vals.err != nil {
+			return groups, vals.err
+		}
+		if wfail != nil {
+			if werr := wfail(); werr != nil {
+				return groups, werr
+			}
+		}
+		groups++
+	}
+}
+
+// lineWriter emits "key\tvalue\n" records into an output stream,
+// latching the first write error — the framework's text output
+// format, shared by reduce, map-only and distributed attempts.
+type lineWriter struct {
+	w    io.Writer
+	line []byte
+	n    int64
+	err  error
+}
+
+func (lw *lineWriter) emit(key string, value []byte) {
+	if lw.err != nil {
+		return
+	}
+	lw.line = append(lw.line[:0], key...)
+	lw.line = append(lw.line, '\t')
+	lw.line = append(lw.line, value...)
+	lw.line = append(lw.line, '\n')
+	if _, err := lw.w.Write(lw.line); err != nil {
+		lw.err = err
+		return
+	}
+	lw.n++
+}
+
+func (lw *lineWriter) fail() error { return lw.err }

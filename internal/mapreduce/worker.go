@@ -1,0 +1,428 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mrpc"
+)
+
+// Worker is the distributed task runtime: it registers with a master,
+// heartbeats for leases and assignments, executes map and reduce
+// attempts through a per-attempt taskRuntime, and serves its spill
+// files' segments to reducers over HTTP. One worker maps onto one
+// TaskTracker of the paper's Hadoop deployment.
+type Worker struct {
+	cfg    WorkerConfig
+	client *mrpc.Client
+	store  Store
+	srv    *mrpc.Server // shuffle segment server
+	beat   time.Duration
+
+	mu      sync.Mutex
+	running map[mrpc.AttemptID]*wAttempt
+	dead    bool // Kill()ed: no more RPCs of any kind
+
+	stop chan struct{}
+	hbWG sync.WaitGroup // heartbeat loop
+	atWG sync.WaitGroup // attempt goroutines
+}
+
+// WorkerConfig configures a worker.
+type WorkerConfig struct {
+	ID     string
+	Master string // master base URL
+	// Store is the worker's storage path; nil binds the master's DFS
+	// proxy (the out-of-process deployment).
+	Store    Store
+	Node     string // datanode identity for locality hints ("" = none)
+	Slots    int    // concurrent attempts; default 2
+	Registry Registry
+	// StepDelay injects a per-record delay into map attempts — the
+	// straggler knob for speculation experiments.
+	StepDelay time.Duration
+}
+
+// wAttempt is one running attempt's worker-side state.
+type wAttempt struct {
+	id       mrpc.AttemptID
+	progress atomic.Uint64 // float64 bits
+	cancel   atomic.Bool
+}
+
+// StartWorker registers with the master and starts the heartbeat loop
+// and shuffle server.
+func StartWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("mapreduce: worker needs an ID")
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = Builtin()
+	}
+	w := &Worker{
+		cfg:     cfg,
+		client:  mrpc.NewClient(cfg.Master),
+		store:   cfg.Store,
+		running: make(map[mrpc.AttemptID]*wAttempt),
+		stop:    make(chan struct{}),
+	}
+	if w.store == nil {
+		w.store = NewProxyStore(cfg.Master)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+mrpc.PathSegment, w.serveSegment)
+	srv, err := mrpc.Serve("", mux)
+	if err != nil {
+		return nil, err
+	}
+	w.srv = srv
+	if err := w.register(); err != nil {
+		srv.Close()
+		return nil, err
+	}
+	w.hbWG.Add(1)
+	go w.heartbeatLoop()
+	return w, nil
+}
+
+func (w *Worker) register() error {
+	var rep mrpc.RegisterReply
+	err := w.client.Call(mrpc.PathRegister, &mrpc.RegisterRequest{
+		Worker: w.cfg.ID,
+		Addr:   w.srv.Addr(),
+		Node:   w.cfg.Node,
+		Slots:  w.cfg.Slots,
+	}, &rep)
+	if err != nil {
+		return fmt.Errorf("mapreduce: worker %s register: %w", w.cfg.ID, err)
+	}
+	w.beat = time.Duration(rep.HeartbeatMS) * time.Millisecond
+	if w.beat <= 0 {
+		w.beat = 10 * time.Millisecond
+	}
+	return nil
+}
+
+// Close shuts the worker down gracefully: running attempts are
+// cancelled (they clean up their files and go unreported; the master
+// re-queues them when the lease lapses or reassigns on re-register).
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.dead = true
+	for _, att := range w.running {
+		att.cancel.Store(true)
+	}
+	w.mu.Unlock()
+	close(w.stop)
+	w.hbWG.Wait()
+	w.atWG.Wait()
+	w.srv.Close()
+}
+
+// Kill simulates abrupt worker death for failure experiments: the
+// heartbeat stops mid-lease, the shuffle server drops, and in-flight
+// attempts abort without completing or cleaning up — exactly what a
+// crashed process leaves behind.
+func (w *Worker) Kill() {
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.dead = true
+	for _, att := range w.running {
+		att.cancel.Store(true)
+	}
+	w.mu.Unlock()
+	close(w.stop)
+	w.srv.Close()
+	w.hbWG.Wait()
+}
+
+// Addr returns the worker's shuffle server address.
+func (w *Worker) Addr() string { return w.srv.Addr() }
+
+func (w *Worker) heartbeatLoop() {
+	defer w.hbWG.Done()
+	ticker := time.NewTicker(w.beat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-ticker.C:
+		}
+		w.mu.Lock()
+		if w.dead {
+			w.mu.Unlock()
+			return
+		}
+		req := &mrpc.HeartbeatRequest{
+			Worker: w.cfg.ID,
+			Free:   w.cfg.Slots - len(w.running),
+		}
+		for id, att := range w.running {
+			req.Running = append(req.Running, mrpc.Progress{
+				ID:       id,
+				Fraction: math.Float64frombits(att.progress.Load()),
+			})
+		}
+		w.mu.Unlock()
+
+		var rep mrpc.HeartbeatReply
+		if err := w.client.Call(mrpc.PathHeartbeat, req, &rep); err != nil {
+			continue // master unreachable; keep trying until stopped
+		}
+		if rep.Unknown {
+			// Declared dead. Orphan everything and start over; the
+			// master has already re-queued our old work.
+			w.mu.Lock()
+			for _, att := range w.running {
+				att.cancel.Store(true)
+			}
+			w.mu.Unlock()
+			_ = w.register()
+			continue
+		}
+		w.mu.Lock()
+		for _, id := range rep.Kill {
+			if att, ok := w.running[id]; ok {
+				att.cancel.Store(true)
+			}
+		}
+		w.mu.Unlock()
+		for _, a := range rep.Assign {
+			w.launch(a)
+		}
+	}
+}
+
+func (w *Worker) launch(a mrpc.Assignment) {
+	att := &wAttempt{id: a.ID}
+	w.mu.Lock()
+	if w.dead {
+		w.mu.Unlock()
+		return
+	}
+	w.running[a.ID] = att
+	w.atWG.Add(1)
+	w.mu.Unlock()
+	go func() {
+		defer w.atWG.Done()
+		w.runAttempt(a, att)
+		w.mu.Lock()
+		delete(w.running, a.ID)
+		w.mu.Unlock()
+	}()
+}
+
+// runAttempt executes one assignment end to end and reports the
+// completion. Cancelled attempts clean up and report nothing (the
+// master already struck them); rejected completions delete the
+// attempt's files, keeping exactly one owner per committed byte.
+func (w *Worker) runAttempt(a mrpc.Assignment, att *wAttempt) {
+	cfg, err := w.cfg.Registry.Resolve(a.Spec)
+	req := &mrpc.CompleteRequest{Worker: w.cfg.ID, ID: a.ID}
+	var cleanup func()
+	if err == nil {
+		rt := &taskRuntime{
+			store:     w.store,
+			cfg:       cfg,
+			ctr:       &Counters{},
+			shufDir:   a.ShufDir,
+			spillSeq:  new(atomic.Int64),
+			spillTag:  fmt.Sprintf("%s-a%d-", w.cfg.ID, a.ID.Attempt),
+			spillAll:  a.ID.Phase == mrpc.PhaseMap && !a.MapOnly,
+			stepDelay: w.cfg.StepDelay,
+			progress: func(frac float64) {
+				att.progress.Store(math.Float64bits(frac))
+			},
+			cancelled: func() bool { return att.cancel.Load() },
+		}
+		if a.ID.Phase == mrpc.PhaseMap {
+			cleanup, err = w.runMap(a, rt, req)
+		} else {
+			cleanup, err = w.runReduce(a, rt, req)
+		}
+	}
+	if errors.Is(err, errCancelled) {
+		return // killed: files already cleaned, master stopped caring
+	}
+	if err != nil {
+		req.Err = err.Error()
+	}
+	w.mu.Lock()
+	dead := w.dead
+	w.mu.Unlock()
+	if dead {
+		return
+	}
+	var rep mrpc.CompleteReply
+	if cerr := w.client.Call(mrpc.PathComplete, req, &rep); cerr != nil {
+		rep.Accepted = false // unreachable master: assume superseded
+	}
+	if !rep.Accepted && cleanup != nil {
+		cleanup()
+	}
+}
+
+// runMap executes a map attempt. In the shuffle path every run is on
+// the store (spillAll) and the completion carries the runs' segment
+// geometry; in the map-only path the merged output lands in the
+// attempt-scoped OutFile and the spills are dropped locally.
+func (w *Worker) runMap(a mrpc.Assignment, rt *taskRuntime, req *mrpc.CompleteRequest) (func(), error) {
+	if a.Split == nil {
+		return nil, errors.New("mapreduce: map assignment without split")
+	}
+	out, records, outRecords, err := rt.executeMap(w.cfg.Node, a.ID.Task, fromRef(a.Split))
+	if err != nil {
+		return nil, err // executeMap discarded its spills
+	}
+	if a.MapOnly {
+		if err := rt.writeMapOutput(a.OutFile, w.cfg.Node, a.ID.Task, out); err != nil {
+			rt.discardOutput(out)
+			return nil, err
+		}
+		rt.discardOutput(out)
+		req.OutFile = a.OutFile
+		req.Counters = taskCounters(rt.ctr, records, outRecords)
+		return func() { _ = w.store.Delete(a.OutFile) }, nil
+	}
+	for _, run := range out.spills {
+		ref := mrpc.RunRef{File: run.file, Segs: make([]mrpc.SegRef, len(run.segs))}
+		for i, seg := range run.segs {
+			ref.Segs[i] = mrpc.SegRef{Off: seg.off, Len: seg.length, Records: seg.records}
+		}
+		req.Runs = append(req.Runs, ref)
+	}
+	req.Counters = taskCounters(rt.ctr, records, outRecords)
+	return func() { rt.discardOutput(out) }, nil
+}
+
+// runReduce executes a reduce attempt: fetch every committed map
+// task's segments for the partition (worker shuffle servers first,
+// DFS spill files as fallback), k-way merge with the same (task, run)
+// tie-breaks as the single-process engine, and stream groups through
+// the reducer into the attempt-scoped output file. Map tasks whose
+// segments are unreachable on both paths become LostMaps.
+func (w *Worker) runReduce(a mrpc.Assignment, rt *taskRuntime, req *mrpc.CompleteRequest) (func(), error) {
+	p := a.ID.Task
+	var srcs []mergeSource
+	var remoteBytes int64
+	for _, mo := range a.MapOutputs {
+		lost := false
+		for ri, run := range mo.Runs {
+			if p >= len(run.Segs) {
+				continue
+			}
+			data, remote, err := fetchSegment(w.store, run, p, w.cfg.Node)
+			if err != nil {
+				lost = true
+				break
+			}
+			if data == nil {
+				continue // empty segment
+			}
+			if remote {
+				remoteBytes += int64(len(data))
+			}
+			srcs = append(srcs, mergeSource{
+				s:    newByteCursor(data, run.Segs[p].Records, run.File),
+				task: mo.Task,
+				run:  ri,
+			})
+		}
+		if lost {
+			req.LostMaps = append(req.LostMaps, mo.Task)
+		}
+	}
+	if len(req.LostMaps) > 0 {
+		return nil, fmt.Errorf("mapreduce: reduce %d: %d map outputs unreachable", p, len(req.LostMaps))
+	}
+	rt.ctr.add(&rt.ctr.MergeStreams, int64(len(srcs)))
+	m, err := newMerger(srcs)
+	if err != nil {
+		return nil, err
+	}
+	out, err := rt.store.Create(a.OutFile, w.cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	lw := &lineWriter{w: out}
+	check := func() error {
+		if att := rt.cancelled; att != nil && att() {
+			return errCancelled
+		}
+		return lw.fail()
+	}
+	groups, err := drainGroups(m, rt.cfg.streamingReducer(), lw.emit, check)
+	if err == nil {
+		err = out.Close()
+	}
+	if err != nil {
+		_ = out.Close()
+		_ = rt.store.Delete(a.OutFile)
+		if errors.Is(err, errCancelled) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("mapreduce: reduce partition %d: %w", p, err)
+	}
+	req.OutFile = a.OutFile
+	req.Counters = taskCounters(rt.ctr, 0, 0)
+	req.Counters.ReduceGroups = groups
+	req.Counters.OutputRecords = lw.n
+	req.Counters.ShuffleBytes = m.bytes
+	req.Counters.RemoteShuffle = remoteBytes
+	return func() { _ = w.store.Delete(a.OutFile) }, nil
+}
+
+// taskCounters snapshots an attempt's runtime counters as wire deltas.
+func taskCounters(c *Counters, records, outRecords int64) mrpc.TaskCounters {
+	s := c.snapshot()
+	return mrpc.TaskCounters{
+		InputRecords:     records,
+		MapOutputRecords: outRecords,
+		CombineInput:     s.CombineInput,
+		CombineOutput:    s.CombineOutput,
+		OutputRecords:    s.OutputRecords,
+		SpillRuns:        s.SpillRuns,
+		SpillBytes:       s.SpillBytes,
+		MergeStreams:     s.MergeStreams,
+	}
+}
+
+// serveSegment streams a byte range of a spill file this worker wrote
+// — the network shuffle path. The file is read back through the
+// worker's own store, so in-process and proxy deployments serve
+// identically.
+func (w *Worker) serveSegment(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	off, _ := strconv.ParseInt(q.Get("off"), 10, 64)
+	length, _ := strconv.ParseInt(q.Get("len"), 10, 64)
+	f, err := w.store.Open(q.Get("file"), w.cfg.Node)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if IsNotFound(err) {
+			code = http.StatusNotFound
+		}
+		mrpc.WriteError(rw, code, "segment", err.Error())
+		return
+	}
+	defer f.Close()
+	rw.Header().Set("Content-Length", strconv.FormatInt(length, 10))
+	_, _ = io.Copy(rw, io.NewSectionReader(f, off, length))
+}

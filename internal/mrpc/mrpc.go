@@ -1,0 +1,383 @@
+// Package mrpc is the MapReduce control and shuffle plane: the wire
+// types and HTTP/JSON plumbing that connect a job master to its
+// worker runtimes. The protocol is TaskTracker-shaped (Hadoop circa
+// the LSDF paper): workers register, then heartbeat; heartbeats renew
+// task leases and carry new assignments and kill orders back;
+// completions are acknowledged explicitly so a superseded attempt
+// learns to discard its output. Reduce-side shuffle is a plain GET
+// for a byte range of a spill file, served by the worker that wrote
+// it (or, when that worker is gone, read straight from the DFS).
+//
+// Everything is JSON over HTTP/1.1 on the standard library — small
+// control messages where per-call overhead is dwarfed by task
+// runtimes, and streamed bodies for segment and file bytes.
+package mrpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Protocol endpoints, rooted under /mr/v1 (control) and /dfsproxy/v1
+// (storage proxy for out-of-process workers).
+const (
+	PathRegister  = "/mr/v1/register"
+	PathHeartbeat = "/mr/v1/heartbeat"
+	PathComplete  = "/mr/v1/complete"
+	PathSegment   = "/mr/v1/segment"
+
+	PathProxyStat   = "/dfsproxy/v1/stat"
+	PathProxyRead   = "/dfsproxy/v1/read"
+	PathProxyCreate = "/dfsproxy/v1/create"
+	PathProxyDelete = "/dfsproxy/v1/delete"
+	PathProxyRename = "/dfsproxy/v1/rename"
+)
+
+// Phases of a task.
+const (
+	PhaseMap    = "map"
+	PhaseReduce = "reduce"
+)
+
+// AttemptID names one execution attempt of one task of one job.
+type AttemptID struct {
+	Job     string `json:"job"`
+	Phase   string `json:"phase"` // PhaseMap or PhaseReduce
+	Task    int    `json:"task"`
+	Attempt int    `json:"attempt"`
+}
+
+// String renders Hadoop-style attempt names for logs and errors.
+func (a AttemptID) String() string {
+	return fmt.Sprintf("%s/%s-%d.a%d", a.Job, a.Phase, a.Task, a.Attempt)
+}
+
+// TaskKey is the attempt's task, for indexing.
+func (a AttemptID) TaskKey() TaskKey { return TaskKey{Job: a.Job, Phase: a.Phase, Task: a.Task} }
+
+// TaskKey names one task independent of attempts.
+type TaskKey struct {
+	Job   string
+	Phase string
+	Task  int
+}
+
+// JobSpec is a job as it crosses the wire: a template name resolved
+// against a server-side registry (job code is Go — it cannot be
+// serialized; Hadoop streaming made the same trade) plus the
+// per-submission parameters.
+type JobSpec struct {
+	Name          string            `json:"name"` // registry template
+	Inputs        []string          `json:"inputs"`
+	OutputDir     string            `json:"output_dir"`
+	NumReducers   int               `json:"num_reducers,omitempty"`
+	Args          map[string]string `json:"args,omitempty"`
+	ShuffleMemory int64             `json:"shuffle_memory,omitempty"` // bytes; <=0 inherits master default
+}
+
+// RegisterRequest announces a worker to the master.
+type RegisterRequest struct {
+	Worker string `json:"worker"` // unique worker ID
+	Addr   string `json:"addr"`   // host:port of the worker's shuffle server
+	Node   string `json:"node"`   // datanode identity for locality ("" = none)
+	Slots  int    `json:"slots"`  // concurrent task capacity
+}
+
+// RegisterReply tells the worker its heartbeat cadence.
+type RegisterReply struct {
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	LeaseMS     int64 `json:"lease_ms"` // miss heartbeats past this and the master presumes death
+}
+
+// Progress reports one running attempt inside a heartbeat. Fraction
+// is in [0,1]; 0 means unknown (the master falls back to elapsed
+// time for straggler detection).
+type Progress struct {
+	ID       AttemptID `json:"id"`
+	Fraction float64   `json:"fraction"`
+}
+
+// HeartbeatRequest renews the worker's lease and advertises capacity.
+type HeartbeatRequest struct {
+	Worker  string     `json:"worker"`
+	Free    int        `json:"free"` // open slots
+	Running []Progress `json:"running,omitempty"`
+}
+
+// HeartbeatReply piggybacks scheduling on the heartbeat, as Hadoop's
+// TaskTracker protocol did.
+type HeartbeatReply struct {
+	Assign []Assignment `json:"assign,omitempty"`
+	Kill   []AttemptID  `json:"kill,omitempty"`
+	// Unknown means the master has no record of this worker (it was
+	// declared dead, or the master restarted); the worker must
+	// re-register and treat its running attempts as orphaned.
+	Unknown bool `json:"unknown,omitempty"`
+}
+
+// SplitRef describes a map task's input slice.
+type SplitRef struct {
+	File   string `json:"file"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+}
+
+// SegRef locates one partition's segment inside a spill run file.
+type SegRef struct {
+	Off     int64 `json:"off"`
+	Len     int64 `json:"len"`
+	Records int   `json:"records"`
+}
+
+// RunRef is one sorted spill run: the DFS file plus per-partition
+// segment geometry, annotated with the shuffle address of the worker
+// that wrote it. Reducers fetch segments from Addr and fall back to
+// the DFS file when the worker is gone.
+type RunRef struct {
+	File string   `json:"file"`
+	Addr string   `json:"addr,omitempty"`
+	Segs []SegRef `json:"segs"`
+}
+
+// MapOutputRef points a reduce task at one committed map task's runs.
+type MapOutputRef struct {
+	Task int      `json:"task"`
+	Runs []RunRef `json:"runs"`
+}
+
+// Assignment is one task handed to a worker. Map assignments carry
+// the split; reduce assignments carry every committed map output for
+// the partition. OutFile is the attempt-scoped output name (map-only
+// and reduce); the master renames the winning attempt's file into
+// place, so half-written losers never shadow the real output.
+type Assignment struct {
+	ID         AttemptID      `json:"id"`
+	Spec       JobSpec        `json:"spec"`
+	ShufDir    string         `json:"shuf_dir"`
+	MapOnly    bool           `json:"map_only,omitempty"`
+	Split      *SplitRef      `json:"split,omitempty"`
+	MapOutputs []MapOutputRef `json:"map_outputs,omitempty"`
+	OutFile    string         `json:"out_file,omitempty"`
+}
+
+// TaskCounters are one attempt's metric deltas; the master folds them
+// into the job's counters only when it accepts the completion, so
+// duplicate and superseded attempts never double-count.
+type TaskCounters struct {
+	InputRecords     int64 `json:"input_records,omitempty"`
+	MapOutputRecords int64 `json:"map_output_records,omitempty"`
+	CombineInput     int64 `json:"combine_input,omitempty"`
+	CombineOutput    int64 `json:"combine_output,omitempty"`
+	ReduceGroups     int64 `json:"reduce_groups,omitempty"`
+	OutputRecords    int64 `json:"output_records,omitempty"`
+	ShuffleBytes     int64 `json:"shuffle_bytes,omitempty"`
+	RemoteShuffle    int64 `json:"remote_shuffle,omitempty"` // segment bytes fetched over HTTP
+	SpillRuns        int64 `json:"spill_runs,omitempty"`
+	SpillBytes       int64 `json:"spill_bytes,omitempty"`
+	MergeStreams     int64 `json:"merge_streams,omitempty"`
+}
+
+// CompleteRequest reports one finished attempt. Exactly one of the
+// outcome groups is meaningful: Err for failures; Runs for map
+// attempts; OutFile for reduce and map-only attempts. LostMaps lists
+// map task indexes whose runs a reduce attempt could fetch neither
+// from their worker nor from the DFS — the signal that re-executes
+// completed maps whose output died with their worker.
+type CompleteRequest struct {
+	Worker   string       `json:"worker"`
+	ID       AttemptID    `json:"id"`
+	Err      string       `json:"err,omitempty"`
+	Runs     []RunRef     `json:"runs,omitempty"`
+	OutFile  string       `json:"out_file,omitempty"`
+	LostMaps []int        `json:"lost_maps,omitempty"`
+	Counters TaskCounters `json:"counters"`
+}
+
+// CompleteReply acknowledges a completion. Accepted=false means the
+// attempt was superseded (a sibling committed first, or the master
+// had given the task up); the worker deletes the attempt's files.
+type CompleteReply struct {
+	Accepted bool `json:"accepted"`
+}
+
+// StatReply answers a proxy stat.
+type StatReply struct {
+	Size     int64 `json:"size"`
+	Complete bool  `json:"complete"`
+}
+
+// Error is a structured protocol error.
+type Error struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("mrpc: %s: %s", e.Code, e.Msg) }
+
+// ErrNotFound marks proxy lookups of absent files; it maps to and
+// from dfs.ErrNotFound at the proxy boundary.
+var ErrNotFound = errors.New("mrpc: not found")
+
+// Client issues protocol calls against one peer (a master's control
+// plane or a worker's shuffle server).
+type Client struct {
+	Base string // http://host:port
+	HC   *http.Client
+}
+
+// NewClient dials base with a shared transport.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HC: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) hc() *http.Client {
+	if c.HC != nil {
+		return c.HC
+	}
+	return http.DefaultClient
+}
+
+// Call posts req as JSON to path and decodes the JSON reply into
+// reply. Non-2xx responses decode the Error envelope.
+func (c *Client) Call(path string, req, reply any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if reply == nil {
+		_, err = io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(reply)
+}
+
+func decodeError(resp *http.Response) error {
+	var pe Error
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&pe); err == nil && pe.Code != "" {
+		if pe.Code == "not_found" {
+			return fmt.Errorf("%w: %s", ErrNotFound, pe.Msg)
+		}
+		return &pe
+	}
+	return fmt.Errorf("mrpc: HTTP %d", resp.StatusCode)
+}
+
+// Get issues a streaming GET (segment fetch, proxy read) and returns
+// the body. The caller must Close it.
+func (c *Client) Get(pathAndQuery string) (io.ReadCloser, error) {
+	resp, err := c.hc().Get(c.Base + pathAndQuery)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// Put streams body to pathAndQuery (proxy create).
+func (c *Client) Put(pathAndQuery string, body io.Reader) error {
+	hreq, err := http.NewRequest(http.MethodPut, c.Base+pathAndQuery, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc().Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+// Handle registers a JSON POST endpoint on mux.
+func Handle[Req, Rep any](mux *http.ServeMux, path string, fn func(*Req) (*Rep, error)) {
+	mux.HandleFunc("POST "+path, func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(io.LimitReader(r.Body, 64<<20)).Decode(&req); err != nil {
+			WriteError(w, http.StatusBadRequest, "bad_request", err.Error())
+			return
+		}
+		rep, err := fn(&req)
+		if err != nil {
+			WriteError(w, http.StatusInternalServerError, errCode(err), err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+}
+
+func errCode(err error) string {
+	if errors.Is(err, ErrNotFound) {
+		return "not_found"
+	}
+	return "internal"
+}
+
+// WriteError emits the protocol error envelope.
+func WriteError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(Error{Code: code, Msg: msg})
+}
+
+// Server is an HTTP listener bound to an ephemeral (or given) port,
+// with the shutdown plumbing every control-plane endpoint here needs.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts handler on addr ("" = 127.0.0.1:0) and returns once
+// the listener is bound, so Addr is immediately usable.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: handler}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound host:port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's http base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = s.srv.Shutdown(ctx)
+	_ = s.srv.Close()
+}

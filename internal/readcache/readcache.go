@@ -24,12 +24,14 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
@@ -52,6 +54,18 @@ type Config struct {
 	// ProtectedFraction is the share of a tier's budget reserved for
 	// the protected (re-referenced) segment (default 0.75).
 	ProtectedFraction float64
+	// NegTTL enables negative caching when > 0: an Open or Stat that
+	// misses everywhere and comes back not-found records the path for
+	// this long, and lookups within the TTL answer not-found without
+	// re-crossing the WAN — the federation probes every site before
+	// concluding absence, so a repeated not-found is the most expensive
+	// miss there is. Entries expire after the TTL and are invalidated
+	// early by a create: through this cache directly, or by a created
+	// event on the bus.
+	NegTTL time.Duration
+	// NegEntries bounds the negative set (default 1024); the oldest
+	// recorded path falls out when full.
+	NegEntries int
 	// Meta, when set, drives invalidation: the cache subscribes to
 	// replica and delete events on the store's bus.
 	Meta *metadata.Store
@@ -95,6 +109,8 @@ type Cache struct {
 	mem  *segLRU // nil when the memory tier is disabled
 	disk *segLRU // nil when the disk tier is disabled
 	ops  map[string]*fillOp
+	neg  map[string]time.Time // not-found paths -> expiry (nil when NegTTL is 0)
+	negQ []string             // insertion order, for bounded FIFO eviction
 
 	unsub func()
 
@@ -108,6 +124,7 @@ type Cache struct {
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
 	fillErrors    atomic.Uint64
+	negHits       atomic.Uint64
 }
 
 var _ adal.Backend = (*Cache)(nil)
@@ -123,7 +140,13 @@ func New(inner adal.Backend, cfg Config) *Cache {
 	if cfg.ProtectedFraction <= 0 || cfg.ProtectedFraction >= 1 {
 		cfg.ProtectedFraction = 0.75
 	}
+	if cfg.NegEntries <= 0 {
+		cfg.NegEntries = 1024
+	}
 	c := &Cache{inner: inner, cfg: cfg, ops: make(map[string]*fillOp)}
+	if cfg.NegTTL > 0 {
+		c.neg = make(map[string]time.Time)
+	}
 	if cfg.Memory > 0 {
 		c.mem = newSegLRU(cfg.Memory, cfg.ProtectedFraction, cfg.AdmitFraction)
 	}
@@ -175,14 +198,85 @@ func (c *Cache) Close() {
 // Name implements adal.Backend transparently.
 func (c *Cache) Name() string { return c.inner.Name() }
 
+// negLookup reports whether path has a live cached not-found; expired
+// entries are dropped in passing.
+func (c *Cache) negLookup(path string) bool {
+	if c.neg == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exp, ok := c.neg[path]
+	if !ok {
+		return false
+	}
+	if time.Now().After(exp) {
+		delete(c.neg, path)
+		return false
+	}
+	return true
+}
+
+// negStore records a not-found path; a re-recorded path just renews
+// its TTL, a fresh one may push the oldest recording out of the
+// bounded set.
+func (c *Cache) negStore(path string) {
+	if c.neg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.neg[path]; !ok {
+		for len(c.neg) >= c.cfg.NegEntries && len(c.negQ) > 0 {
+			delete(c.neg, c.negQ[0])
+			c.negQ = c.negQ[1:]
+		}
+		c.negQ = append(c.negQ, path)
+	}
+	c.neg[path] = time.Now().Add(c.cfg.NegTTL)
+}
+
+// negDrop forgets a cached not-found (the object exists now). The
+// path stays in negQ; its map entry is what answers lookups.
+func (c *Cache) negDrop(path string) {
+	if c.neg == nil {
+		return
+	}
+	c.mu.Lock()
+	delete(c.neg, path)
+	c.mu.Unlock()
+}
+
+// negErr is the error a negative hit serves: indistinguishable from
+// the inner backend's not-found for errors.Is purposes.
+func (c *Cache) negErr(path string) error {
+	c.negHits.Add(1)
+	return fmt.Errorf("%w: %s:%s (negative-cached)", adal.ErrNotFound, c.inner.Name(), path)
+}
+
 // Create implements adal.Backend by delegating: the cache is
 // read-through only, and objects are immutable (Create of an existing
-// path fails below), so a write never shadows a cached entry.
-func (c *Cache) Create(path string) (io.WriteCloser, error) { return c.inner.Create(path) }
+// path fails below), so a write never shadows a cached entry. It
+// does shadow a cached absence, so the negative entry goes first.
+func (c *Cache) Create(path string) (io.WriteCloser, error) {
+	c.negDrop(path)
+	return c.inner.Create(path)
+}
 
 // Stat implements adal.Backend by delegating to the inner backend,
-// which answers from the replica catalog without touching a site.
-func (c *Cache) Stat(path string) (adal.FileInfo, error) { return c.inner.Stat(path) }
+// which answers from the replica catalog without touching a site —
+// unless a live negative entry answers (or records) the absence
+// first.
+func (c *Cache) Stat(path string) (adal.FileInfo, error) {
+	if c.negLookup(path) {
+		return adal.FileInfo{}, c.negErr(path)
+	}
+	info, err := c.inner.Stat(path)
+	if err != nil && errors.Is(err, adal.ErrNotFound) {
+		c.negStore(path)
+	}
+	return info, err
+}
 
 // List implements adal.Backend by delegating.
 func (c *Cache) List(prefix string) ([]adal.FileInfo, error) { return c.inner.List(prefix) }
@@ -202,6 +296,9 @@ func (c *Cache) Remove(path string) error {
 // Open implements adal.Backend: memory hit, coalesce onto an
 // in-flight fill, disk hit (with promotion), or fill/bypass.
 func (c *Cache) Open(path string) (io.ReadCloser, error) {
+	if c.negLookup(path) {
+		return nil, c.negErr(path)
+	}
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		if e := c.mem.get(path); e != nil {
@@ -242,7 +339,11 @@ func (c *Cache) Open(path string) (io.ReadCloser, error) {
 			// stream straight through. No coalescing — each bypass
 			// reader needs its own stream anyway.
 			c.bypasses.Add(1)
-			return c.inner.Open(path)
+			r, err := c.inner.Open(path)
+			if err != nil && errors.Is(err, adal.ErrNotFound) {
+				c.negStore(path)
+			}
+			return r, err
 		}
 
 		c.mu.Lock()
@@ -258,6 +359,9 @@ func (c *Cache) Open(path string) (io.ReadCloser, error) {
 		r, err := c.fill(path, size, sum, admitMem, admitDisk, op)
 		c.finishOp(path, op, err)
 		if err != nil {
+			if errors.Is(err, adal.ErrNotFound) {
+				c.negStore(path)
+			}
 			return nil, err
 		}
 		return r, nil
@@ -443,6 +547,18 @@ func (c *Cache) onEvent(ev metadata.Event) {
 		}
 	case metadata.EventDeleted:
 		state = "dropped"
+	case metadata.EventCreated:
+		// A creation anywhere in the federation obsoletes a cached
+		// absence: the next lookup must go ask.
+		path := ev.Dataset.Path
+		if c.cfg.MountPrefix != "" {
+			if !strings.HasPrefix(path, c.cfg.MountPrefix) {
+				return
+			}
+			path = strings.TrimPrefix(path, c.cfg.MountPrefix)
+		}
+		c.negDrop(path)
+		return
 	default:
 		return
 	}
@@ -575,11 +691,13 @@ type Stats struct {
 	Evictions                uint64
 	Invalidations            uint64
 	FillErrors               uint64
+	NegHits                  uint64 // lookups answered not-found from the negative set
 
 	MemUsed, MemBudget   units.Bytes
 	DiskUsed, DiskBudget units.Bytes
 	MemObjects           int
 	DiskObjects          int
+	NegObjects           int // live negative entries
 }
 
 // HitRate is hits across both tiers over all cacheable lookups.
@@ -604,6 +722,7 @@ func (c *Cache) Stats() Stats {
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
 		FillErrors:    c.fillErrors.Load(),
+		NegHits:       c.negHits.Load(),
 	}
 	c.mu.Lock()
 	if c.mem != nil {
@@ -612,6 +731,7 @@ func (c *Cache) Stats() Stats {
 	if c.disk != nil {
 		st.DiskUsed, st.DiskBudget, st.DiskObjects = c.disk.used, c.disk.budget, len(c.disk.idx)
 	}
+	st.NegObjects = len(c.neg)
 	c.mu.Unlock()
 	return st
 }
@@ -631,6 +751,8 @@ func (c *Cache) CacheCounters() map[string]uint64 {
 		"evictions":     st.Evictions,
 		"invalidations": st.Invalidations,
 		"fill_errors":   st.FillErrors,
+		"neg_hits":      st.NegHits,
+		"neg_objects":   uint64(st.NegObjects),
 		"mem_used":      uint64(st.MemUsed),
 		"mem_objects":   uint64(st.MemObjects),
 		"disk_used":     uint64(st.DiskUsed),

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
@@ -524,5 +525,111 @@ func TestSegLRUDemotion(t *testing.T) {
 	}
 	if s.used != 1000 {
 		t.Fatalf("used = %d, want 1000 (demotion must not evict)", s.used)
+	}
+}
+
+// TestNegativeCaching: a not-found lookup is remembered for the TTL —
+// repeats are answered locally — and a create (through the cache or
+// as a bus event) re-opens the path before the TTL runs out.
+func TestNegativeCaching(t *testing.T) {
+	inner := &countingBackend{Backend: adal.NewMemFS("inner")}
+	c := New(inner, Config{Memory: 64 * units.KiB, NegTTL: time.Minute})
+	defer c.Close()
+
+	if _, err := c.Open("/data/ghost"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("first open: %v, want not-found", err)
+	}
+	opens := inner.opens.Load()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Open("/data/ghost"); !errors.Is(err, adal.ErrNotFound) {
+			t.Fatalf("cached open: %v, want not-found", err)
+		}
+		if _, err := c.Stat("/data/ghost"); !errors.Is(err, adal.ErrNotFound) {
+			t.Fatalf("cached stat: %v, want not-found", err)
+		}
+	}
+	if n := inner.opens.Load(); n != opens {
+		t.Fatalf("negative hits re-opened inner: %d opens, want %d", n, opens)
+	}
+	if st := c.Stats(); st.NegHits != 6 || st.NegObjects != 1 {
+		t.Fatalf("NegHits=%d NegObjects=%d, want 6 and 1", st.NegHits, st.NegObjects)
+	}
+
+	// Creating through the cache forgets the absence immediately.
+	w, err := c.Create("/data/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("now real")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCache(t, c, "/data/ghost"); string(got) != "now real" {
+		t.Fatalf("post-create read: %q", got)
+	}
+}
+
+// TestNegativeCachingBusInvalidation: a created event on the metadata
+// bus (an ingest at another site) clears the cached absence.
+func TestNegativeCachingBusInvalidation(t *testing.T) {
+	inner := &countingBackend{Backend: adal.NewMemFS("inner")}
+	meta := metadata.NewStore()
+	c := New(inner, Config{Memory: 64 * units.KiB, NegTTL: time.Minute, Meta: meta, MountPrefix: "/sites"})
+	defer c.Close()
+
+	if _, err := c.Open("/data/late"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("open: %v, want not-found", err)
+	}
+	if _, err := c.Open("/data/late"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("open: %v, want not-found", err)
+	}
+	if st := c.Stats(); st.NegHits != 1 {
+		t.Fatalf("NegHits=%d, want 1", st.NegHits)
+	}
+
+	// The object lands at a remote site; its registration event rides
+	// the bus and must clear the negative entry.
+	writeBackend(t, inner, "/data/late", []byte("arrived"))
+	if _, err := meta.Create("proj", "/sites/data/late", 7, sumOf([]byte("arrived")), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCache(t, c, "/data/late"); string(got) != "arrived" {
+		t.Fatalf("post-event read: %q", got)
+	}
+}
+
+// TestNegativeCachingTTLAndBound: entries expire after the TTL, and
+// the set is FIFO-bounded by NegEntries.
+func TestNegativeCachingTTLAndBound(t *testing.T) {
+	inner := &countingBackend{Backend: adal.NewMemFS("inner")}
+	c := New(inner, Config{Memory: 64 * units.KiB, NegTTL: 10 * time.Millisecond, NegEntries: 2})
+	defer c.Close()
+
+	for _, p := range []string{"/a", "/b", "/c"} {
+		if _, err := c.Open(p); !errors.Is(err, adal.ErrNotFound) {
+			t.Fatalf("open %s: %v, want not-found", p, err)
+		}
+	}
+	if st := c.Stats(); st.NegObjects != 2 {
+		t.Fatalf("NegObjects=%d, want 2 (bounded)", st.NegObjects)
+	}
+	// /a was pushed out by /c; looking it up goes to the inner backend.
+	opens := inner.opens.Load()
+	if _, err := c.Open("/a"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("open /a: %v", err)
+	}
+	if n := inner.opens.Load(); n == opens {
+		t.Fatal("evicted negative entry still answered locally")
+	}
+
+	time.Sleep(15 * time.Millisecond)
+	opens = inner.opens.Load()
+	if _, err := c.Open("/c"); !errors.Is(err, adal.ErrNotFound) {
+		t.Fatalf("open /c after TTL: %v", err)
+	}
+	if n := inner.opens.Load(); n == opens {
+		t.Fatal("expired negative entry still answered locally")
 	}
 }
