@@ -22,12 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/mapreduce"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -37,15 +40,16 @@ func main() {
 		node      = flag.String("node", "", "datanode this worker is co-located with (locality hint)")
 		slots     = flag.Int("slots", 0, "concurrent task slots (default 2)")
 		stepDelay = flag.Duration("step-delay", 0, "artificial per-record delay (straggler experiments)")
+		debugAddr = flag.String("debug-addr", "", "operator debug listener: pprof and this worker's /metrics")
 	)
 	flag.Parse()
-	if err := run(*master, *id, *node, *slots, *stepDelay); err != nil {
+	if err := run(*master, *id, *node, *slots, *stepDelay, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "lsdf-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(master, id, node string, slots int, stepDelay time.Duration) error {
+func run(master, id, node string, slots int, stepDelay time.Duration, debugAddr string) error {
 	if master == "" {
 		return fmt.Errorf("-master URL is required")
 	}
@@ -67,6 +71,19 @@ func run(master, id, node string, slots int, stepDelay time.Duration) error {
 		return err
 	}
 	log.Printf("lsdf-worker: %s registered with %s (shuffle on %s)", id, master, w.Addr())
+
+	if debugAddr != "" {
+		w.Obs().RegisterRuntimeMetrics()
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		log.Printf("lsdf-worker: debug listener (pprof, /metrics) on %s", dln.Addr())
+		go func() {
+			_ = http.Serve(dln, obs.DebugHandler(w.Obs(), nil))
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)

@@ -50,6 +50,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
 	"repro/internal/mrpc"
+	"repro/internal/obs"
 	"repro/internal/readcache"
 	"repro/internal/replication"
 	"repro/internal/tiering"
@@ -62,13 +63,14 @@ func main() {
 	cacheDisk := flag.Int("cache-disk-mib", 256, "read cache disk tier budget in MiB (persisted under STATE/cache)")
 	server := flag.String("server", "", "lsdfd gateway URL: run commands remotely instead of against -state")
 	token := flag.String("token", "", "bearer token for -server")
+	trace := flag.Bool("trace", false, "mint a request trace for this command and print its ID (remote mode; inspect with: lsdfctl traces ID)")
 	flag.Parse()
 	if *server != "" {
 		if flag.NArg() == 0 {
 			usage()
 			os.Exit(2)
 		}
-		if err := runRemote(*server, *token, flag.Args()); err != nil {
+		if err := runRemote(*server, *token, *trace, flag.Args()); err != nil {
 			fmt.Fprintln(os.Stderr, "lsdfctl:", err)
 			os.Exit(1)
 		}
@@ -117,18 +119,27 @@ commands:
   replica verify PATH         re-checksum every replica against the main copy
   cache status                show read-cache counters and cached objects
   cache evict PATH            drop an object from every cache tier
-  cache warm PREFIX           pre-fill the cache with the objects under PREFIX`)
+  cache warm PREFIX           pre-fill the cache with the objects under PREFIX
+  metrics                     (remote) dump the facility's Prometheus metrics
+  traces [-n N] [ID]          (remote) show recent request traces, or one trace's spans`)
 }
 
 // runRemote drives the user-facing commands through the gateway
 // client against a served lsdfd. The command surface and output
 // format match the local mode so scripts work against either.
-func runRemote(server, token string, args []string) error {
+func runRemote(server, token string, trace bool, args []string) error {
 	c, err := client.New(server, token, client.Options{})
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
+	if trace {
+		// Client-side minting: the gateway adopts this ID, so the
+		// user can pull the full span tree afterwards.
+		id := obs.NewTraceID()
+		ctx = obs.ContextWithTrace(ctx, &obs.TraceData{ID: id})
+		defer fmt.Fprintf(os.Stderr, "trace: %s\n", id)
+	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "ingest":
@@ -229,11 +240,67 @@ func runRemote(server, token string, args []string) error {
 		return nil
 	case "jobs":
 		return remoteJobs(ctx, c, rest)
+	case "metrics":
+		text, err := c.MetricsText(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
+	case "traces":
+		return remoteTraces(ctx, c, rest)
 	case "tier", "replica", "cache", "export":
 		return fmt.Errorf("%q administers facility-internal state and is local-only; rerun with -state on the facility host", cmd)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// remoteTraces renders the gateway's debug trace ring: a summary line
+// per trace, or — given an ID — one trace's span tree with durations.
+func remoteTraces(ctx context.Context, c *client.Client, rest []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	n := fs.Int("n", 10, "how many recent traces to list")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() >= 1 {
+		tv, err := c.Trace(ctx, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		printTrace(tv)
+		return nil
+	}
+	views, err := c.Traces(ctx, *n)
+	if err != nil {
+		return err
+	}
+	for _, tv := range views {
+		var total int64
+		for _, sp := range tv.Spans {
+			if sp.DurNs > total {
+				total = sp.DurNs
+			}
+		}
+		fmt.Printf("%-24s  %-28s  %2d spans  %s\n",
+			tv.ID, tv.Root, len(tv.Spans), time.Duration(total))
+	}
+	return nil
+}
+
+func printTrace(tv obs.TraceView) {
+	fmt.Printf("trace %s  root=%q  start=%s\n", tv.ID, tv.Root, tv.Start.Format(time.RFC3339Nano))
+	for _, sp := range tv.Spans {
+		detail := ""
+		if sp.Detail != "" {
+			detail = "  " + sp.Detail
+		}
+		fmt.Printf("  %-28s %12s%s\n", sp.Name, time.Duration(sp.DurNs), detail)
+	}
+	if tv.Dropped > 0 {
+		fmt.Printf("  (%d spans dropped)\n", tv.Dropped)
 	}
 }
 

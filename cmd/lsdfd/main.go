@@ -37,6 +37,7 @@ import (
 	"repro/internal/adal"
 	"repro/internal/facility"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		computeS    = flag.Int("compute-slots", 0, "distributed MapReduce: task slots per worker (default 2)")
 		computeAddr = flag.String("compute-addr", "", "distributed MapReduce: master control-plane listen address for external lsdf-worker processes (default loopback ephemeral; implies -compute-workers if unset)")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		debugAddr   = flag.String("debug-addr", "", "operator debug listener: pprof, /metrics, /v1/debug/traces (keep off tenant networks)")
 	)
 	flag.Parse()
 	cfg := daemonConfig{
@@ -66,7 +68,7 @@ func main() {
 		cacheMem: *cacheMem, cacheDisk: *cacheDisk, cacheDir: *cacheDir,
 		shards: *shards, dfsNodes: *dfsNodes,
 		computeWorkers: *computeN, computeSlots: *computeS, computeAddr: *computeAddr,
-		drainTimeout: *drain,
+		drainTimeout: *drain, debugAddr: *debugAddr,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "lsdfd:", err)
@@ -91,6 +93,7 @@ type daemonConfig struct {
 	computeSlots   int
 	computeAddr    string
 	drainTimeout   time.Duration
+	debugAddr      string
 }
 
 func run(c daemonConfig) error {
@@ -158,6 +161,21 @@ func run(c daemonConfig) error {
 	})
 	if err != nil {
 		return err
+	}
+
+	// The operator debug plane rides its own listener: pprof and the
+	// raw obs handlers carry no tenant auth, so they never share the
+	// front door's address.
+	if c.debugAddr != "" {
+		dln, err := net.Listen("tcp", c.debugAddr)
+		if err != nil {
+			return err
+		}
+		defer dln.Close()
+		log.Printf("lsdfd: debug listener (pprof, /metrics, /v1/debug/traces) on %s", dln.Addr())
+		go func() {
+			_ = http.Serve(dln, obs.DebugHandler(fac.Obs, fac.Tracer))
+		}()
 	}
 
 	ln, err := net.Listen("tcp", c.addr)

@@ -1,11 +1,13 @@
 package adal
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/dfs"
+	"repro/internal/obs"
 )
 
 // DFSBackend exposes the Hadoop filesystem through the ADAL contract,
@@ -49,6 +51,16 @@ func (b *DFSBackend) Open(path string) (io.ReadCloser, error) {
 		return nil, err
 	}
 	return r, nil
+}
+
+// OpenCtx implements CtxOpener: a traced caller gets a dfs.open span
+// timing replica selection and stream setup.
+func (b *DFSBackend) OpenCtx(ctx context.Context, path string) (io.ReadCloser, error) {
+	sp := obs.StartSpan(ctx, "dfs.open")
+	sp.Annotate("%s:%s", b.name, path)
+	r, err := b.Open(path)
+	sp.End()
+	return r, err
 }
 
 // Stat implements Backend, including the file's modification time —

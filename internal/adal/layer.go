@@ -1,6 +1,7 @@
 package adal
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -121,6 +122,30 @@ func (l *Layer) Open(path string) (io.ReadCloser, error) {
 	b, rel, err := l.Resolve(path)
 	if err != nil {
 		return nil, err
+	}
+	return b.Open(rel)
+}
+
+// CtxOpener is the structural upgrade a backend implements to see
+// the caller's context (trace spans, cancellation) on reads. The
+// Backend interface itself stays context-free — most backends are
+// local and synchronous — but the read cache and the federated
+// replica backend record where WAN time goes.
+type CtxOpener interface {
+	OpenCtx(ctx context.Context, path string) (io.ReadCloser, error)
+}
+
+// OpenCtx is Open with a context: backends that implement CtxOpener
+// receive it (and with it the request's trace), others are opened
+// plainly. Untraced callers can keep using Open — the two paths
+// return identical bytes.
+func (l *Layer) OpenCtx(ctx context.Context, path string) (io.ReadCloser, error) {
+	b, rel, err := l.Resolve(path)
+	if err != nil {
+		return nil, err
+	}
+	if co, ok := b.(CtxOpener); ok {
+		return co.OpenCtx(ctx, rel)
 	}
 	return b.Open(rel)
 }

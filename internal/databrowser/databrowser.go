@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -114,11 +115,25 @@ func (b *Browser) CacheStats(prefix string) (map[string]uint64, bool) {
 type Browser struct {
 	layer *adal.Layer
 	meta  *metadata.Store
+	reg   *obs.Registry
+	mReq  *obs.CounterVec
 }
 
-// New creates a browser.
+// New creates a browser with a private metrics registry; SetObs
+// swaps in a shared one.
 func New(layer *adal.Layer, meta *metadata.Store) *Browser {
-	return &Browser{layer: layer, meta: meta}
+	b := &Browser{layer: layer, meta: meta}
+	b.SetObs(obs.New())
+	return b
+}
+
+// SetObs points the browser's instrumentation (per-endpoint request
+// counters, the registry Handler serves at GET /metrics) at reg —
+// the facility calls this so browser traffic lands in the shared
+// facility-wide exposition.
+func (b *Browser) SetObs(reg *obs.Registry) {
+	b.reg = reg
+	b.mReq = reg.CounterVec("lsdf_browser_requests_total", "DataBrowser web API requests.", "endpoint")
 }
 
 // List browses a federated prefix, joining each object with its
@@ -216,10 +231,18 @@ func (b *Browser) Find(q metadata.Query) []metadata.Dataset {
 //	GET  /dataset?path=/ddn/x       -> metadata.Dataset
 //	GET  /find?project=p&tag=t      -> []metadata.Dataset
 //	GET  /cache?prefix=/sites       -> read-cache counters
+//	GET  /metrics                   -> Prometheus exposition
 //	POST /tag?path=/ddn/x&tag=hot   -> 204
 //	POST /untag?path=/ddn/x&tag=hot -> 204
 func (b *Browser) Handler() http.Handler {
 	mux := http.NewServeMux()
+	handle := func(pattern, endpoint string, fn http.HandlerFunc) {
+		hits := b.mReq.With(endpoint)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			hits.Inc()
+			fn(w, r)
+		})
+	}
 	writeJSON := func(w http.ResponseWriter, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -236,7 +259,7 @@ func (b *Browser) Handler() http.Handler {
 		}
 		http.Error(w, err.Error(), code)
 	}
-	mux.HandleFunc("GET /list", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /list", "list", func(w http.ResponseWriter, r *http.Request) {
 		entries, err := b.List(r.URL.Query().Get("prefix"))
 		if err != nil {
 			fail(w, err)
@@ -244,7 +267,7 @@ func (b *Browser) Handler() http.Handler {
 		}
 		writeJSON(w, entries)
 	})
-	mux.HandleFunc("GET /stat", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /stat", "stat", func(w http.ResponseWriter, r *http.Request) {
 		e, err := b.Stat(r.URL.Query().Get("path"))
 		if err != nil {
 			fail(w, err)
@@ -252,7 +275,7 @@ func (b *Browser) Handler() http.Handler {
 		}
 		writeJSON(w, e)
 	})
-	mux.HandleFunc("GET /dataset", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /dataset", "dataset", func(w http.ResponseWriter, r *http.Request) {
 		ds, err := b.Dataset(r.URL.Query().Get("path"))
 		if err != nil {
 			fail(w, err)
@@ -260,7 +283,7 @@ func (b *Browser) Handler() http.Handler {
 		}
 		writeJSON(w, ds)
 	})
-	mux.HandleFunc("GET /find", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /find", "find", func(w http.ResponseWriter, r *http.Request) {
 		q := metadata.Query{
 			Project:    r.URL.Query().Get("project"),
 			PathPrefix: r.URL.Query().Get("prefix"),
@@ -270,7 +293,7 @@ func (b *Browser) Handler() http.Handler {
 		}
 		writeJSON(w, b.Find(q))
 	})
-	mux.HandleFunc("GET /cache", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /cache", "cache", func(w http.ResponseWriter, r *http.Request) {
 		stats, ok := b.CacheStats(r.URL.Query().Get("prefix"))
 		if !ok {
 			http.Error(w, "no read cache on that mount", http.StatusNotFound)
@@ -278,19 +301,20 @@ func (b *Browser) Handler() http.Handler {
 		}
 		writeJSON(w, stats)
 	})
-	mux.HandleFunc("POST /tag", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /tag", "tag", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Tag(r.URL.Query().Get("path"), r.URL.Query().Get("tag")); err != nil {
 			fail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("POST /untag", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /untag", "untag", func(w http.ResponseWriter, r *http.Request) {
 		if err := b.Untag(r.URL.Query().Get("path"), r.URL.Query().Get("tag")); err != nil {
 			fail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	mux.Handle("GET /metrics", b.reg.Handler())
 	return mux
 }

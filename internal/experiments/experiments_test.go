@@ -309,6 +309,62 @@ func TestE17GatewayAcceptance(t *testing.T) {
 	}
 }
 
+// TestE19ObservabilityAcceptance pins the observability bar: traced
+// hot reads account for >= 95% of server-side request wall time, one
+// front-door scrape is fully parseable and shows counter families
+// from all six subsystems (with the workload actually visible in
+// them), the traced distributed job reaches the worker runtime, and
+// the gateway's per-request instrument set prices under 2% on a hot
+// cached read.
+func TestE19ObservabilityAcceptance(t *testing.T) {
+	tbl, err := E19Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(name string) string {
+		t.Helper()
+		for _, r := range tbl.Rows {
+			if r[0] == name {
+				return r[1]
+			}
+		}
+		t.Fatalf("row %q missing: %v", name, tbl.Rows)
+		return ""
+	}
+	cov, err := strconv.ParseFloat(strings.TrimSuffix(row("span coverage of request wall (median of 24 hot reads)"), "%"), 64)
+	if err != nil || cov < 95 {
+		t.Errorf("median span coverage = %s, want >= 95%%", row("span coverage of request wall (median of 24 hot reads)"))
+	}
+	if got := row("exposition lines failing to parse"); got != "0" {
+		t.Errorf("%s exposition lines failed to parse", got)
+	}
+	if got := row("subsystem prefixes present"); got != "6 / 6" {
+		t.Errorf("subsystem prefixes = %s, want 6 / 6", got)
+	}
+	if got := row("workload-driven counters still zero"); got != "none" {
+		t.Errorf("counters the workload should have moved are zero: %s", got)
+	}
+	for _, want := range []string{"gw", "master", "mr"} {
+		if !strings.Contains(row("layers in the traced distributed job"), want) {
+			t.Errorf("job trace layers = %s, missing %q", row("layers in the traced distributed job"), want)
+		}
+	}
+	if !strings.Contains(row("layers in a traced read"), "cache") {
+		t.Errorf("read trace layers = %s, missing the cache", row("layers in a traced read"))
+	}
+	// The 2% bound holds only where nanoseconds are measurable: the
+	// race detector multiplies every memory access, so the delta it
+	// measures is the race runtime's, not the instrument set's.
+	if !raceDetector {
+		instr := row("with the gateway instrument set")
+		open := strings.Index(instr, "(")
+		ovh, err := strconv.ParseFloat(strings.TrimSuffix(instr[open+1:], "%)"), 64)
+		if err != nil || ovh > 2 {
+			t.Errorf("instrument-set overhead = %s, want <= +2%%", instr)
+		}
+	}
+}
+
 // TestE18DistributedAcceptance pins the distributed-compute bar: both
 // adversity jobs byte-identical to the single-process engine with two
 // workers killed and one straggling, speculative copies bounded (the

@@ -88,5 +88,6 @@ func All() []Runner {
 		{"E16", "hot-set-read-cache", E16HotSetReadCache},
 		{"E17", "gateway-load", E17GatewayLoad},
 		{"E18", "distributed-mapreduce", E18DistributedCompute},
+		{"E19", "observability", E19Observability},
 	}
 }

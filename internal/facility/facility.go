@@ -27,6 +27,7 @@ import (
 	"repro/internal/metadata"
 	"repro/internal/mrpc"
 	"repro/internal/objectstore"
+	"repro/internal/obs"
 	"repro/internal/readcache"
 	"repro/internal/replication"
 	"repro/internal/rules"
@@ -230,6 +231,16 @@ type Facility struct {
 	Compute        *mapreduce.Master
 	computeWorkers []*mapreduce.Worker
 
+	// Obs is the facility-wide metrics registry: every subsystem's
+	// counters (DFS, metadata WAL, read cache, replication, compute,
+	// Go runtime) exposed through one Prometheus scrape. The gateway
+	// instruments into and serves this same registry at /metrics.
+	Obs *obs.Registry
+	// Tracer is the facility-wide request-trace ring. The gateway
+	// mints into it; the compute master attaches job and attempt
+	// spans to the same IDs.
+	Tracer *obs.Tracer
+
 	templates     mapreduce.Registry
 	shuffleMemory units.Bytes // default MapReduce spill budget (Options.ShuffleMemory)
 }
@@ -237,6 +248,8 @@ type Facility struct {
 // New assembles a facility.
 func New(opts Options) (*Facility, error) {
 	opts = opts.withDefaults()
+	reg := obs.New()
+	tracer := obs.NewTracer(512)
 
 	cluster := dfs.NewCluster(dfs.Config{
 		BlockSize:         opts.DFSBlockSize,
@@ -354,6 +367,7 @@ func New(opts Options) (*Facility, error) {
 			NegTTL:      opts.ReadCacheNegTTL,
 			Meta:        meta,
 			MountPrefix: "/sites",
+			Obs:         reg,
 		})
 		sitesMount = cache
 	}
@@ -393,8 +407,11 @@ func New(opts Options) (*Facility, error) {
 		Federation:     fedBackend,
 		FedSites:       fedSites,
 		ReadCache:      cache,
+		Obs:            reg,
+		Tracer:         tracer,
 		shuffleMemory:  opts.ShuffleMemory,
 	}
+	f.Browser.SetObs(reg)
 	f.Orchestrator = workflow.NewOrchestrator(layer, meta, opts.AsyncWorkflows)
 	f.Rules = rules.NewEngine(layer, meta)
 
@@ -408,6 +425,7 @@ func New(opts Options) (*Facility, error) {
 			Registry:      f.templates,
 			Addr:          opts.ComputeAddr,
 			ShuffleMemory: opts.ShuffleMemory,
+			Tracer:        tracer,
 		})
 		if err != nil {
 			f.Close()
@@ -434,6 +452,7 @@ func New(opts Options) (*Facility, error) {
 			f.computeWorkers = append(f.computeWorkers, w)
 		}
 	}
+	f.registerObs()
 	return f, nil
 }
 

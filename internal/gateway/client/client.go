@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/gateway"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 )
 
 // APIError is a gateway error envelope surfaced as a Go error.
@@ -324,6 +325,39 @@ func (c *Client) Metrics(ctx context.Context) (gateway.MetricsResult, error) {
 	return res, err
 }
 
+// MetricsText fetches the facility-wide Prometheus exposition from
+// GET /metrics — every subsystem's counters in one scrape. This is
+// what `lsdfctl metrics` prints.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, "", nil)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Traces fetches the n most recent request traces from the gateway's
+// debug ring (n <= 0 uses the server default).
+func (c *Client) Traces(ctx context.Context, n int) ([]obs.TraceView, error) {
+	var q url.Values
+	if n > 0 {
+		q = url.Values{"n": {strconv.Itoa(n)}}
+	}
+	var res []obs.TraceView
+	err := c.doJSON(ctx, http.MethodGet, "/v1/debug/traces", q, nil, "", &res)
+	return res, err
+}
+
+// Trace fetches one trace by ID — the value a mutating call echoed
+// back in its X-LSDF-Trace response header.
+func (c *Client) Trace(ctx context.Context, id string) (obs.TraceView, error) {
+	var res obs.TraceView
+	err := c.doJSON(ctx, http.MethodGet, "/v1/debug/traces", url.Values{"id": {id}}, nil, "", &res)
+	return res, err
+}
+
 // Health probes the server; an error means unreachable or draining.
 func (c *Client) Health(ctx context.Context) error {
 	return c.doJSON(ctx, http.MethodGet, "/v1/healthz", nil, nil, "", &struct {
@@ -385,6 +419,11 @@ func (c *Client) do(ctx context.Context, method, path string, q url.Values, mkBo
 		req.Header.Set("Authorization", "Bearer "+c.token)
 		if c.user != "" {
 			req.Header.Set("X-LSDF-User", c.user)
+		}
+		// A caller-minted trace (lsdfctl --trace) rides the header so
+		// the gateway adopts its ID instead of minting one.
+		if id := obs.TraceID(ctx); id != "" {
+			req.Header.Set(obs.TraceHeader, id)
 		}
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)

@@ -19,5 +19,14 @@ func ForFacility(f *facility.Facility, cfg Config) (*Server, error) {
 		cfg.RunSpec = f.SubmitNamedJob
 		cfg.HasJob = f.HasJobTemplate
 	}
+	// The gateway instruments into the facility's shared registry and
+	// trace ring, so GET /metrics is one scrape for the whole stack
+	// and a request's trace carries spans from every layer it crossed.
+	if cfg.Obs == nil {
+		cfg.Obs = f.Obs
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = f.Tracer
+	}
 	return New(cfg)
 }

@@ -48,6 +48,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/metadata"
 	"repro/internal/mrpc"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -92,6 +93,15 @@ type Config struct {
 	// DrainRetryAfter is the Retry-After hint on drain/admission 503s
 	// (default 1s).
 	DrainRetryAfter time.Duration
+	// Obs is the metrics registry the gateway instruments into and
+	// serves at GET /metrics. The facility passes its shared registry
+	// here so one scrape covers every subsystem; nil builds a private
+	// one (default).
+	Obs *obs.Registry
+	// Tracer is the trace ring requests are recorded into and served
+	// from at GET /v1/debug/traces. nil builds a private ring of 256
+	// traces.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +129,11 @@ type Server struct {
 	al    *adal.AuthLayer
 	mux   *http.ServeMux
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	met    gwMetrics
+	promH  http.Handler
+
 	draining atomic.Bool
 	inFlight atomic.Int64
 
@@ -128,6 +143,28 @@ type Server struct {
 	jobsMu sync.Mutex
 	jobSeq int64
 	jobs   map[string]*jobState
+}
+
+// gwMetrics holds the gateway's obs series handles: per-tenant
+// traffic counters and the per-operation latency histogram.
+type gwMetrics struct {
+	requests  *obs.CounterVec
+	throttled *obs.CounterVec
+	rejected  *obs.CounterVec
+	bytesIn   *obs.CounterVec
+	bytesOut  *obs.CounterVec
+	reqDur    *obs.HistogramVec
+}
+
+func newGWMetrics(reg *obs.Registry) gwMetrics {
+	return gwMetrics{
+		requests:  reg.CounterVec("lsdf_gateway_requests_total", "Admitted requests per tenant.", "tenant"),
+		throttled: reg.CounterVec("lsdf_gateway_throttled_total", "429s from the per-tenant rate limiter.", "tenant"),
+		rejected:  reg.CounterVec("lsdf_gateway_rejected_total", "503s from per-tenant admission control.", "tenant"),
+		bytesIn:   reg.CounterVec("lsdf_gateway_bytes_in_total", "Object/ingest payload bytes received.", "tenant"),
+		bytesOut:  reg.CounterVec("lsdf_gateway_bytes_out_total", "Object payload bytes served.", "tenant"),
+		reqDur:    reg.HistogramVec("lsdf_gateway_request_ns", "Handler latency per operation.", "op"),
+	}
 }
 
 // New builds a gateway. Layer and Meta are required; Tenants (or a
@@ -159,36 +196,79 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NewTracer(256)
+	}
 	s := &Server{
 		cfg:     cfg,
 		authn:   authn,
 		acl:     acl,
 		al:      adal.NewAuthLayer(cfg.Layer, authn, acl),
+		reg:     reg,
+		tracer:  tracer,
+		met:     newGWMetrics(reg),
+		promH:   reg.Handler(),
 		tenants: make(map[string]*tenantState),
 		jobs:    make(map[string]*jobState),
 	}
+	reg.GaugeFunc("lsdf_gateway_in_flight", "Requests currently admitted across all tenants.", s.inFlight.Load)
+	reg.GaugeFunc("lsdf_gateway_draining", "1 while the front door is draining.", func() int64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	for _, t := range cfg.Tenants {
 		t = t.withDefaults()
-		s.tenants[t.Name] = newTenantState(t)
+		s.tenants[t.Name] = newTenantState(t, s.met)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/objects/{path...}", s.getObject)
-	mux.HandleFunc("PUT /v1/objects/{path...}", s.putObject)
-	mux.HandleFunc("DELETE /v1/objects/{path...}", s.deleteObject)
-	mux.HandleFunc("GET /v1/stat/{path...}", s.statObject)
-	mux.HandleFunc("GET /v1/list", s.list)
-	mux.HandleFunc("GET /v1/datasets", s.findDatasets)
-	mux.HandleFunc("GET /v1/dataset", s.datasetByPath)
-	mux.HandleFunc("POST /v1/datasets/tag", s.tagDataset)
-	mux.HandleFunc("POST /v1/datasets/untag", s.tagDataset)
-	mux.HandleFunc("POST /v1/ingest", s.ingest)
-	mux.HandleFunc("POST /v1/jobs", s.submitJob)
-	mux.HandleFunc("GET /v1/jobs", s.listJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.jobStatus)
-	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.route(mux, "GET /v1/objects/{path...}", "get_object", s.getObject)
+	s.route(mux, "PUT /v1/objects/{path...}", "put_object", s.putObject)
+	s.route(mux, "DELETE /v1/objects/{path...}", "delete_object", s.deleteObject)
+	s.route(mux, "GET /v1/stat/{path...}", "stat", s.statObject)
+	s.route(mux, "GET /v1/list", "list", s.list)
+	s.route(mux, "GET /v1/datasets", "find_datasets", s.findDatasets)
+	s.route(mux, "GET /v1/dataset", "dataset", s.datasetByPath)
+	s.route(mux, "POST /v1/datasets/tag", "tag", s.tagDataset)
+	s.route(mux, "POST /v1/datasets/untag", "untag", s.tagDataset)
+	s.route(mux, "POST /v1/ingest", "ingest", s.ingest)
+	s.route(mux, "POST /v1/jobs", "submit_job", s.submitJob)
+	s.route(mux, "GET /v1/jobs", "list_jobs", s.listJobs)
+	s.route(mux, "GET /v1/jobs/{id}", "job_status", s.jobStatus)
+	s.route(mux, "GET /v1/metrics", "metrics", s.metrics)
 	s.mux = mux
 	return s, nil
 }
+
+// route registers a handler wrapped with its operation's
+// instrumentation: a gw.<op> span on traced requests and a sample in
+// the per-op latency histogram. The histogram series is resolved once
+// at registration, so the hot path pays one time.Since and one atomic
+// observe.
+func (s *Server) route(mux *http.ServeMux, pattern, op string, h http.HandlerFunc) {
+	hist := s.met.reqDur.With(op)
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sp := obs.StartSpan(r.Context(), "gw."+op)
+		h(w, r)
+		sp.End()
+		hist.ObserveSince(start)
+	})
+}
+
+// Obs returns the registry the gateway instruments into — the one
+// GET /metrics serves. cmd/lsdfd mounts the same registry on its
+// debug listener.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
+// TraceRing returns the trace ring behind GET /v1/debug/traces.
+func (s *Server) TraceRing() *obs.Tracer { return s.tracer }
 
 // Drain flips the server into shutdown: every new request — on new
 // or kept-alive connections — is rejected with a 503 envelope and
@@ -237,7 +317,7 @@ func (s *Server) tenantFor(p adal.Principal) *tenantState {
 	defer s.mu.Unlock()
 	ts, ok := s.tenants[p.User]
 	if !ok {
-		ts = newTenantState(Tenant{Name: p.User})
+		ts = newTenantState(Tenant{Name: p.User}, s.met)
 		s.tenants[p.User] = ts
 	}
 	return ts
@@ -287,6 +367,21 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Observability plane: Prometheus exposition and the trace ring
+	// answer before authentication and before the drain gate —
+	// scrapers and operators need them most while the front door is
+	// refusing tenant traffic.
+	if r.Method == http.MethodGet {
+		switch r.URL.Path {
+		case "/metrics":
+			s.promH.ServeHTTP(ew, r)
+			return
+		case "/v1/debug/traces":
+			s.debugTraces(ew, r)
+			return
+		}
+	}
+
 	// Requests are counted before the drain re-check, so Drain's wait
 	// covers every request that slipped past the flag.
 	s.inFlight.Add(1)
@@ -297,8 +392,25 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Every admitted request gets a trace: adopted from the client's
+	// X-LSDF-Trace header when it carries one (lsdfctl minting), minted
+	// here otherwise. The ID is echoed back so clients can correlate,
+	// and rides the context through the mount stack and over mrpc.
+	td := s.tracer.StartTraceID(r.Header.Get(obs.TraceHeader), rootName(r))
+	if td != nil {
+		ew.Header().Set(obs.TraceHeader, td.ID)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), td))
+	}
+	root := obs.StartSpanOn(td, "gw.request")
+	defer func() {
+		root.Annotate("status=%d", ew.status)
+		root.End()
+	}()
+
 	creds := credentials(r)
+	asp := obs.StartSpanOn(td, "gw.auth")
 	principal, err := s.authn.Authenticate(creds)
+	asp.End()
 	if err != nil {
 		writeErr(ew, http.StatusUnauthorized, "unauthenticated", err.Error())
 		return
@@ -323,6 +435,38 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	ai := &authInfo{creds: creds, principal: principal, tenant: tenant}
 	s.mux.ServeHTTP(ew, r.WithContext(context.WithValue(r.Context(), ctxKey{}, ai)))
+}
+
+// rootName labels a trace with its request line, truncated so a
+// hostile URL cannot balloon the ring's memory.
+func rootName(r *http.Request) string {
+	name := r.Method + " " + r.URL.Path
+	if len(name) > 128 {
+		name = name[:128]
+	}
+	return name
+}
+
+// debugTraces serves the trace ring with the gateway's JSON-envelope
+// error contract (the raw obs handler's 404 body is not an envelope).
+// GET ?id=X returns one trace, GET ?n=K the K newest.
+func (s *Server) debugTraces(w http.ResponseWriter, r *http.Request) {
+	if id := r.URL.Query().Get("id"); id != "" {
+		v, ok := s.tracer.Lookup(id)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "not_found", "no trace "+id)
+			return
+		}
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	n := 20
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	writeJSON(w, http.StatusOK, s.tracer.Recent(n))
 }
 
 // credentials extracts the bearer token (and optional user binding)
@@ -355,7 +499,7 @@ func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	rc, err := s.cfg.Layer.Open(fp)
+	rc, err := s.cfg.Layer.OpenCtx(r.Context(), fp)
 	if err != nil {
 		s.fail(w, err)
 		return
@@ -850,6 +994,7 @@ type envelopeWriter struct {
 	rw           http.ResponseWriter
 	wroteHeader  bool
 	suppressBody bool
+	status       int // first status written; annotated onto the trace
 }
 
 func (ew *envelopeWriter) Header() http.Header { return ew.rw.Header() }
@@ -859,6 +1004,7 @@ func (ew *envelopeWriter) WriteHeader(code int) {
 		return
 	}
 	ew.wroteHeader = true
+	ew.status = code
 	ct := ew.rw.Header().Get("Content-Type")
 	if code >= 400 && !strings.HasPrefix(ct, "application/json") {
 		ew.suppressBody = true

@@ -13,6 +13,7 @@ import (
 	"repro/internal/adal"
 	"repro/internal/mapreduce"
 	"repro/internal/mrpc"
+	"repro/internal/obs"
 )
 
 // Map and reduce functions are Go code — they cannot cross the wire.
@@ -163,12 +164,16 @@ func (s *Server) submitJob(w http.ResponseWriter, r *http.Request) {
 	// runs); the legacy RunJob path builds the config gateway-side.
 	var run func() (*mapreduce.Result, error)
 	if s.cfg.RunSpec != nil {
+		// The request's trace ID rides the spec, so the master's job
+		// span and the workers' attempt spans land in the same trace
+		// as the gateway's gw.submit_job.
 		wait, err := s.cfg.RunSpec(mrpc.JobSpec{
 			Name:        req.Job,
 			Inputs:      req.Inputs,
 			OutputDir:   req.OutputDir,
 			NumReducers: req.NumReducers,
 			Args:        req.Args,
+			Trace:       obs.TraceID(r.Context()),
 		}, ai.tenant.name)
 		if err != nil {
 			if errors.Is(err, mapreduce.ErrUnknownTemplate) {

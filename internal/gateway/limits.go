@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Tenant declares one community's gateway account: its bearer token,
@@ -51,8 +53,10 @@ func (t Tenant) withDefaults() Tenant {
 	return t
 }
 
-// TenantStats is one tenant's observable traffic, snapshotted from
-// atomic counters.
+// TenantStats is one tenant's observable traffic. The counters live
+// in the gateway's obs registry (lsdf_gateway_*_total{tenant=...});
+// this struct is the stable JSON view of them that /v1/metrics has
+// always served.
 type TenantStats struct {
 	Requests  int64 // admitted requests
 	Throttled int64 // 429s from the rate limiter
@@ -66,7 +70,9 @@ type TenantStats struct {
 // admission gate and counters. The bucket is a classic continuous
 // refill: tokens accrue at rps up to burst, one request costs one
 // token, and a dry bucket reports how long until the next token so
-// the 429 can carry an honest Retry-After.
+// the 429 can carry an honest Retry-After. The traffic counters are
+// labeled series in the gateway's obs registry, so the same numbers
+// back /v1/metrics JSON and the /metrics Prometheus exposition.
 type tenantState struct {
 	name        string
 	maxInFlight int64
@@ -78,14 +84,14 @@ type tenantState struct {
 	last   time.Time
 
 	inFlight  atomic.Int64
-	requests  atomic.Int64
-	throttled atomic.Int64
-	rejected  atomic.Int64
-	bytesIn   atomic.Int64
-	bytesOut  atomic.Int64
+	requests  *obs.Counter
+	throttled *obs.Counter
+	rejected  *obs.Counter
+	bytesIn   *obs.Counter
+	bytesOut  *obs.Counter
 }
 
-func newTenantState(t Tenant) *tenantState {
+func newTenantState(t Tenant, m gwMetrics) *tenantState {
 	t = t.withDefaults()
 	return &tenantState{
 		name:        t.Name,
@@ -94,6 +100,11 @@ func newTenantState(t Tenant) *tenantState {
 		rps:         t.RPS,
 		burst:       float64(t.Burst),
 		last:        time.Now(),
+		requests:    m.requests.With(t.Name),
+		throttled:   m.throttled.With(t.Name),
+		rejected:    m.rejected.With(t.Name),
+		bytesIn:     m.bytesIn.With(t.Name),
+		bytesOut:    m.bytesOut.With(t.Name),
 	}
 }
 
@@ -127,11 +138,11 @@ func (ts *tenantState) release() { ts.inFlight.Add(-1) }
 
 func (ts *tenantState) stats() TenantStats {
 	return TenantStats{
-		Requests:  ts.requests.Load(),
-		Throttled: ts.throttled.Load(),
-		Rejected:  ts.rejected.Load(),
-		BytesIn:   ts.bytesIn.Load(),
-		BytesOut:  ts.bytesOut.Load(),
+		Requests:  ts.requests.Value(),
+		Throttled: ts.throttled.Value(),
+		Rejected:  ts.rejected.Value(),
+		BytesIn:   ts.bytesIn.Value(),
+		BytesOut:  ts.bytesOut.Value(),
 		InFlight:  ts.inFlight.Load(),
 	}
 }

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -396,7 +397,7 @@ func TestDistributedFairShare(t *testing.T) {
 func TestProxyStore(t *testing.T) {
 	c := testCluster(3, 64)
 	m := startMaster(t, c)
-	ps := NewProxyStore(m.URL())
+	ps := NewProxyStore(context.Background(), m.URL())
 
 	w, err := ps.Create("/px/file", "")
 	if err != nil {

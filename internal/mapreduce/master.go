@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dfs"
 	"repro/internal/mrpc"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -64,6 +65,11 @@ type MasterConfig struct {
 	// ShuffleMemory is the default spill budget for jobs that do not
 	// set one.
 	ShuffleMemory units.Bytes
+	// Tracer, when set, records a master.job span for every submitted
+	// job that carries a trace ID and attaches worker task-attempt
+	// spans arriving in completions — the compute half of the
+	// facility's trace ring.
+	Tracer *obs.Tracer
 }
 
 func (c MasterConfig) withDefaults() MasterConfig {
@@ -162,6 +168,7 @@ type Job struct {
 
 	failed  error
 	doneCh  chan struct{}
+	span    *obs.Span // master.job span; nil untraced
 	outputs []string
 	dur     time.Duration   // settled wall time
 	mapDur  []time.Duration // committed attempt durations, per phase
@@ -244,6 +251,53 @@ func (m *Master) LiveWorkers() []string {
 	return out
 }
 
+// MasterStats is a point-in-time aggregate across every job the
+// master has seen, for metrics exposition: the facility samples it
+// at scrape time, so the scheduler's hot path carries no new cost.
+type MasterStats struct {
+	Workers      int // registered workers
+	LiveWorkers  int
+	Jobs         int // total jobs submitted
+	RunningJobs  int
+	RunningSlots int
+	MapTasks     int64
+	ReduceTasks  int64
+	Retries      int64
+	SpecLaunched int64
+	SpecWon      int64
+	ShuffleBytes int64
+	RemoteBytes  int64
+}
+
+// Stats aggregates job counters and worker liveness.
+func (m *Master) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var s MasterStats
+	s.Workers = len(m.workers)
+	for _, w := range m.workers {
+		if w.alive {
+			s.LiveWorkers++
+		}
+	}
+	s.Jobs = len(m.jobs)
+	for _, j := range m.jobs {
+		if !j.isDone() {
+			s.RunningJobs++
+			s.RunningSlots += j.runningSlots
+		}
+		c := j.ctr.snapshot()
+		s.MapTasks += c.MapTasks
+		s.ReduceTasks += c.ReduceTasks
+		s.Retries += c.Retries
+		s.SpecLaunched += c.SpecLaunched
+		s.SpecWon += c.SpecWon
+		s.ShuffleBytes += c.ShuffleBytes
+		s.RemoteBytes += c.RemoteShuffleBytes
+	}
+	return s
+}
+
 // Submit admits a job: resolves its template, builds splits, and
 // queues every map task. Workers pick tasks up on their next
 // heartbeat.
@@ -300,6 +354,10 @@ func (m *Master) Submit(spec mrpc.JobSpec, tenant string) (*Job, error) {
 	}
 	for i := range j.reduces {
 		j.reduces[i].running = make(map[int]*mAttempt)
+	}
+	if spec.Trace != "" {
+		j.span = m.cfg.Tracer.SpanFor(spec.Trace, "master.job")
+		j.span.Annotate("%s %s (%d maps, %d reduces)", j.ID, spec.Name, len(j.maps), len(j.reduces))
 	}
 	m.jobs[j.ID] = j
 	if j.mapsDone == len(j.maps) { // zero-split job
@@ -484,7 +542,11 @@ func (j *Job) takeLocked(w *mWorker, others bool) (mrpc.Assignment, bool) {
 		idx = j.pendingMaps[pick]
 		j.pendingMaps = append(j.pendingMaps[:pick], j.pendingMaps[pick+1:]...)
 		j.maps[idx].queued = false
-	} else if len(j.pendingReds) > 0 {
+	} else if len(j.pendingReds) > 0 && j.mapsDone == len(j.maps) {
+		// The mapsDone gate matters after a lost-map resurrection: a
+		// reduce assigned while a map is re-running would snapshot
+		// mapOutputsLocked without that map's runs and silently merge
+		// an incomplete input set.
 		idx = j.pendingReds[0]
 		if others && w.runsPhase(j.ID, mrpc.PhaseReduce) {
 			t := &j.reduces[idx]
@@ -499,14 +561,20 @@ func (j *Job) takeLocked(w *mWorker, others bool) (mrpc.Assignment, bool) {
 		phase = mrpc.PhaseReduce
 		j.pendingReds = j.pendingReds[1:]
 		j.reduces[idx].queued = false
-	} else {
+	} else if len(j.specQ) > 0 {
 		key := j.specQ[0]
 		if w.runsTask(key) {
 			// A backup raced on the straggler itself is no backup.
 			return mrpc.Assignment{}, false
 		}
+		if key.Phase == mrpc.PhaseReduce && j.mapsDone != len(j.maps) {
+			return mrpc.Assignment{}, false // same gate as queued reduces
+		}
 		j.specQ = j.specQ[1:]
 		phase, idx, spec = key.Phase, key.Task, true
+	} else {
+		// Pending reduces exist but are gated behind a map re-run.
+		return mrpc.Assignment{}, false
 	}
 	t := j.task(phase, idx)
 	att := &mAttempt{
@@ -632,6 +700,9 @@ func (m *Master) handleComplete(req *mrpc.CompleteRequest) (*mrpc.CompleteReply,
 	t.runs = req.Runs
 	t.runWorker = req.Worker
 	j.foldCounters(req.Counters)
+	// Committed attempts contribute their spans to the job's trace;
+	// superseded and failed ones don't, keeping one span per task.
+	m.cfg.Tracer.Attach(j.spec.Trace, req.Spans)
 	if att.spec {
 		j.ctr.add(&j.ctr.SpecWon, 1)
 	}
@@ -766,6 +837,12 @@ func (j *Job) finalize() {
 // lands; their completes arrive after settle and are rejected.
 func (j *Job) settle() {
 	j.dur = time.Since(j.start)
+	if j.span != nil {
+		if j.failed != nil {
+			j.span.Annotate("failed: %v", j.failed)
+		}
+		j.span.End()
+	}
 	for ti := range j.maps {
 		t := &j.maps[ti]
 		j.killRunningLocked(t)

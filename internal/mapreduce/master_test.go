@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -35,7 +36,7 @@ func protoMaster(t *testing.T) (*Master, *mrpc.Client) {
 func register(t *testing.T, cl *mrpc.Client, id string) {
 	t.Helper()
 	var rep mrpc.RegisterReply
-	err := cl.Call(mrpc.PathRegister, &mrpc.RegisterRequest{Worker: id, Addr: "127.0.0.1:1", Slots: 1}, &rep)
+	err := cl.Call(context.Background(), mrpc.PathRegister, &mrpc.RegisterRequest{Worker: id, Addr: "127.0.0.1:1", Slots: 1}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func register(t *testing.T, cl *mrpc.Client, id string) {
 func beat(t *testing.T, cl *mrpc.Client, id string, free int, running []mrpc.Progress) mrpc.HeartbeatReply {
 	t.Helper()
 	var rep mrpc.HeartbeatReply
-	err := cl.Call(mrpc.PathHeartbeat, &mrpc.HeartbeatRequest{Worker: id, Free: free, Running: running}, &rep)
+	err := cl.Call(context.Background(), mrpc.PathHeartbeat, &mrpc.HeartbeatRequest{Worker: id, Free: free, Running: running}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSupersededCompleteRejected(t *testing.T) {
 	}
 	// The dead-then-revived u1 finishes its superseded attempt late.
 	var rep mrpc.CompleteReply
-	err := cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u1", ID: a1.ID}, &rep)
+	err := cl.Call(context.Background(), mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u1", ID: a1.ID}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,14 +152,14 @@ func TestSupersededCompleteRejected(t *testing.T) {
 		t.Fatal("superseded attempt's completion accepted")
 	}
 	// The live successor's completion is accepted — once.
-	err = cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
+	err = cl.Call(context.Background(), mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !rep.Accepted {
 		t.Fatal("successor attempt's completion rejected")
 	}
-	err = cl.Call(mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
+	err = cl.Call(context.Background(), mrpc.PathComplete, &mrpc.CompleteRequest{Worker: "u2", ID: a2.ID}, &rep)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,11 +3,13 @@ package mapreduce
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net/url"
 	"strconv"
+	"time"
 
 	"repro/internal/dfs"
 	"repro/internal/mrpc"
@@ -64,17 +66,31 @@ func IsNotFound(err error) bool {
 // endpoints — the storage path for out-of-process lsdf-worker
 // runtimes. Reads are ranged GETs; the bufio layers above (record
 // readers, merge cursors) keep the request count per task small.
-type proxyStore struct{ c *mrpc.Client }
+// Every op derives from the worker's lifecycle context, so shutdown
+// aborts in-flight proxy I/O; ranged reads additionally carry a
+// per-request deadline so a hung master can't wedge a task forever.
+type proxyStore struct {
+	c   *mrpc.Client
+	ctx context.Context
+}
+
+// proxyReadTimeout bounds one ranged proxy read or segment fetch —
+// the per-request cap the old client-wide 30s timeout provided.
+const proxyReadTimeout = 30 * time.Second
 
 // NewProxyStore returns a Store served by the DFS proxy at the
-// master base URL.
-func NewProxyStore(masterURL string) Store {
-	return proxyStore{c: mrpc.NewClient(masterURL)}
+// master base URL. ctx scopes every call the store makes; cancel it
+// to abort in-flight proxy I/O.
+func NewProxyStore(ctx context.Context, masterURL string) Store {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return proxyStore{c: mrpc.NewClient(masterURL), ctx: ctx}
 }
 
 func (s proxyStore) Stat(name string) (int64, error) {
 	var rep mrpc.StatReply
-	if err := s.c.Call(mrpc.PathProxyStat, struct {
+	if err := s.c.Call(s.ctx, mrpc.PathProxyStat, struct {
 		Name string `json:"name"`
 	}{name}, &rep); err != nil {
 		return 0, err
@@ -95,7 +111,8 @@ func (s proxyStore) Create(name, hint string) (io.WriteCloser, error) {
 	pf := &proxyWriter{pw: pw, done: make(chan error, 1)}
 	go func() {
 		q := url.Values{"name": {name}, "hint": {hint}}
-		err := s.c.Put(mrpc.PathProxyCreate+"?"+q.Encode(), pr)
+		// Cancel-only: the upload runs as long as the data does.
+		err := s.c.Put(s.ctx, mrpc.PathProxyCreate+"?"+q.Encode(), pr)
 		_ = pr.CloseWithError(err)
 		pf.done <- err
 	}()
@@ -103,13 +120,13 @@ func (s proxyStore) Create(name, hint string) (io.WriteCloser, error) {
 }
 
 func (s proxyStore) Delete(name string) error {
-	return s.c.Call(mrpc.PathProxyDelete, struct {
+	return s.c.Call(s.ctx, mrpc.PathProxyDelete, struct {
 		Name string `json:"name"`
 	}{name}, nil)
 }
 
 func (s proxyStore) Rename(oldName, newName string) error {
-	return s.c.Call(mrpc.PathProxyRename, struct {
+	return s.c.Call(s.ctx, mrpc.PathProxyRename, struct {
 		Old string `json:"old"`
 		New string `json:"new"`
 	}{oldName, newName}, nil)
@@ -151,7 +168,9 @@ func (f *proxyFile) ReadAt(p []byte, off int64) (int, error) {
 		"off":  {strconv.FormatInt(off, 10)},
 		"len":  {strconv.FormatInt(n, 10)},
 	}
-	body, err := f.s.c.Get(mrpc.PathProxyRead + "?" + q.Encode())
+	ctx, cancel := context.WithTimeout(f.s.ctx, proxyReadTimeout)
+	defer cancel()
+	body, err := f.s.c.Get(ctx, mrpc.PathProxyRead+"?"+q.Encode())
 	if err != nil {
 		return 0, err
 	}
@@ -198,13 +217,13 @@ func (f *proxyFile) Close() error { return nil }
 // of the worker that wrote the run and falling back to the store when
 // that worker is unreachable — the network shuffle with DFS as the
 // durable second copy. remote reports whether bytes came over HTTP.
-func fetchSegment(store Store, run mrpc.RunRef, p int, hint string) (data []byte, remote bool, err error) {
+func fetchSegment(ctx context.Context, store Store, run mrpc.RunRef, p int, hint string) (data []byte, remote bool, err error) {
 	seg := run.Segs[p]
 	if seg.Records == 0 {
 		return nil, false, nil
 	}
 	if run.Addr != "" {
-		if data, err = fetchRemoteSegment(run, seg); err == nil {
+		if data, err = fetchRemoteSegment(ctx, run, seg); err == nil {
 			return data, true, nil
 		}
 		// Fall through: the serving worker is gone or refused; the
@@ -222,14 +241,19 @@ func fetchSegment(store Store, run mrpc.RunRef, p int, hint string) (data []byte
 	return data, false, nil
 }
 
-func fetchRemoteSegment(run mrpc.RunRef, seg mrpc.SegRef) ([]byte, error) {
+func fetchRemoteSegment(ctx context.Context, run mrpc.RunRef, seg mrpc.SegRef) ([]byte, error) {
 	c := mrpc.NewClient("http://" + run.Addr)
 	q := url.Values{
 		"file": {run.File},
 		"off":  {strconv.FormatInt(seg.Off, 10)},
 		"len":  {strconv.FormatInt(seg.Len, 10)},
 	}
-	body, err := c.Get(mrpc.PathSegment + "?" + q.Encode())
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, proxyReadTimeout)
+	defer cancel()
+	body, err := c.Get(ctx, mrpc.PathSegment+"?"+q.Encode())
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/mrpc"
+	"repro/internal/obs"
 )
 
 // Worker is the distributed task runtime: it registers with a master,
@@ -25,6 +27,18 @@ type Worker struct {
 	store  Store
 	srv    *mrpc.Server // shuffle segment server
 	beat   time.Duration
+	reg    *obs.Registry
+	mTasks *obs.CounterVec // lsdf_mr_worker_tasks_total{phase}
+	mSegs  *obs.Counter    // segments served
+	mHB    *obs.Counter    // heartbeats sent
+	mHBErr *obs.Counter    // heartbeats failed
+	mDur   *obs.HistogramVec
+
+	// ctx is the worker's lifecycle: cancelled by Close/Kill, it
+	// aborts every in-flight RPC so a hung master can't wedge
+	// shutdown.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu      sync.Mutex
 	running map[mrpc.AttemptID]*wAttempt
@@ -48,6 +62,10 @@ type WorkerConfig struct {
 	// StepDelay injects a per-record delay into map attempts — the
 	// straggler knob for speculation experiments.
 	StepDelay time.Duration
+	// Obs receives the worker's metrics (tasks run, segments served,
+	// heartbeat health, task duration histograms); nil creates a
+	// private registry, reachable via Worker.Obs for a debug listener.
+	Obs *obs.Registry
 }
 
 // wAttempt is one running attempt's worker-side state.
@@ -69,15 +87,28 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = Builtin()
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.New()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
 	w := &Worker{
 		cfg:     cfg,
 		client:  mrpc.NewClient(cfg.Master),
 		store:   cfg.Store,
+		reg:     reg,
+		mTasks:  reg.CounterVec("lsdf_mr_worker_tasks_total", "Task attempts finished by this worker.", "phase"),
+		mSegs:   reg.Counter("lsdf_mr_worker_segments_total", "Shuffle segments served."),
+		mHB:     reg.Counter("lsdf_mr_worker_heartbeats_total", "Heartbeats sent."),
+		mHBErr:  reg.Counter("lsdf_mr_worker_heartbeat_errors_total", "Heartbeats that failed."),
+		mDur:    reg.HistogramVec("lsdf_mr_worker_task_ns", "Task attempt duration.", "phase"),
+		ctx:     ctx,
+		cancel:  cancel,
 		running: make(map[mrpc.AttemptID]*wAttempt),
 		stop:    make(chan struct{}),
 	}
 	if w.store == nil {
-		w.store = NewProxyStore(cfg.Master)
+		w.store = NewProxyStore(ctx, cfg.Master)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+mrpc.PathSegment, w.serveSegment)
@@ -97,7 +128,7 @@ func StartWorker(cfg WorkerConfig) (*Worker, error) {
 
 func (w *Worker) register() error {
 	var rep mrpc.RegisterReply
-	err := w.client.Call(mrpc.PathRegister, &mrpc.RegisterRequest{
+	err := w.client.Call(w.ctx, mrpc.PathRegister, &mrpc.RegisterRequest{
 		Worker: w.cfg.ID,
 		Addr:   w.srv.Addr(),
 		Node:   w.cfg.Node,
@@ -128,6 +159,9 @@ func (w *Worker) Close() {
 	}
 	w.mu.Unlock()
 	close(w.stop)
+	// Cancel first: attempts are already marked cancelled and report
+	// nothing, so aborting their in-flight RPCs only unwedges them.
+	w.cancel()
 	w.hbWG.Wait()
 	w.atWG.Wait()
 	w.srv.Close()
@@ -149,12 +183,27 @@ func (w *Worker) Kill() {
 	}
 	w.mu.Unlock()
 	close(w.stop)
+	w.cancel()
 	w.srv.Close()
 	w.hbWG.Wait()
 }
 
+// hbTimeout bounds one heartbeat RPC: generous multiples of the
+// cadence so transient stalls ride through, but never unbounded.
+func (w *Worker) hbTimeout() time.Duration {
+	d := 4 * w.beat
+	if d < time.Second {
+		d = time.Second
+	}
+	return d
+}
+
 // Addr returns the worker's shuffle server address.
 func (w *Worker) Addr() string { return w.srv.Addr() }
+
+// Obs returns the worker's metrics registry, for mounting on a debug
+// listener (lsdf-worker -debug-addr).
+func (w *Worker) Obs() *obs.Registry { return w.reg }
 
 func (w *Worker) heartbeatLoop() {
 	defer w.hbWG.Done()
@@ -183,8 +232,16 @@ func (w *Worker) heartbeatLoop() {
 		}
 		w.mu.Unlock()
 
+		hctx, hcancel := context.WithTimeout(w.ctx, w.hbTimeout())
 		var rep mrpc.HeartbeatReply
-		if err := w.client.Call(mrpc.PathHeartbeat, req, &rep); err != nil {
+		err := w.client.Call(hctx, mrpc.PathHeartbeat, req, &rep)
+		hcancel()
+		w.mHB.Inc()
+		if err != nil {
+			w.mHBErr.Inc()
+			if w.ctx.Err() != nil {
+				return // cancelled: shutting down
+			}
 			continue // master unreachable; keep trying until stopped
 		}
 		if rep.Unknown {
@@ -235,6 +292,16 @@ func (w *Worker) launch(a mrpc.Assignment) {
 // master already struck them); rejected completions delete the
 // attempt's files, keeping exactly one owner per committed byte.
 func (w *Worker) runAttempt(a mrpc.Assignment, att *wAttempt) {
+	// When the spec carries a trace ID, record this attempt's spans
+	// into a detached trace; they ship home in the completion and the
+	// master attaches them to the job's trace ring entry.
+	var td *obs.TraceData
+	if a.Spec.Trace != "" {
+		td = &obs.TraceData{ID: a.Spec.Trace}
+	}
+	attSpan := obs.StartSpanOn(td, "mr."+a.ID.Phase)
+	attSpan.Annotate("%s on %s", a.ID, w.cfg.ID)
+	start := time.Now()
 	cfg, err := w.cfg.Registry.Resolve(a.Spec)
 	req := &mrpc.CompleteRequest{Worker: w.cfg.ID, ID: a.ID}
 	var cleanup func()
@@ -256,7 +323,7 @@ func (w *Worker) runAttempt(a mrpc.Assignment, att *wAttempt) {
 		if a.ID.Phase == mrpc.PhaseMap {
 			cleanup, err = w.runMap(a, rt, req)
 		} else {
-			cleanup, err = w.runReduce(a, rt, req)
+			cleanup, err = w.runReduce(a, rt, td, req)
 		}
 	}
 	if errors.Is(err, errCancelled) {
@@ -265,6 +332,10 @@ func (w *Worker) runAttempt(a mrpc.Assignment, att *wAttempt) {
 	if err != nil {
 		req.Err = err.Error()
 	}
+	attSpan.End()
+	w.mDur.With(a.ID.Phase).ObserveSince(start)
+	w.mTasks.With(a.ID.Phase).Inc()
+	req.Spans = td.TakeSpans()
 	w.mu.Lock()
 	dead := w.dead
 	w.mu.Unlock()
@@ -272,7 +343,15 @@ func (w *Worker) runAttempt(a mrpc.Assignment, att *wAttempt) {
 		return
 	}
 	var rep mrpc.CompleteReply
-	if cerr := w.client.Call(mrpc.PathComplete, req, &rep); cerr != nil {
+	if cerr := w.client.Call(w.ctx, mrpc.PathComplete, req, &rep); cerr != nil {
+		if w.ctx.Err() != nil {
+			// Shutdown cancelled the report mid-flight: the request may
+			// have reached the master and committed these files, and we
+			// never saw the verdict. Deleting them now could destroy
+			// runs the master just registered — leave them; a crashed
+			// process wouldn't have cleaned up either.
+			return
+		}
 		rep.Accepted = false // unreachable master: assume superseded
 	}
 	if !rep.Accepted && cleanup != nil {
@@ -319,17 +398,18 @@ func (w *Worker) runMap(a mrpc.Assignment, rt *taskRuntime, req *mrpc.CompleteRe
 // tie-breaks as the single-process engine, and stream groups through
 // the reducer into the attempt-scoped output file. Map tasks whose
 // segments are unreachable on both paths become LostMaps.
-func (w *Worker) runReduce(a mrpc.Assignment, rt *taskRuntime, req *mrpc.CompleteRequest) (func(), error) {
+func (w *Worker) runReduce(a mrpc.Assignment, rt *taskRuntime, td *obs.TraceData, req *mrpc.CompleteRequest) (func(), error) {
 	p := a.ID.Task
 	var srcs []mergeSource
 	var remoteBytes int64
+	fetchSpan := obs.StartSpanOn(td, "mr.shuffle.fetch")
 	for _, mo := range a.MapOutputs {
 		lost := false
 		for ri, run := range mo.Runs {
 			if p >= len(run.Segs) {
 				continue
 			}
-			data, remote, err := fetchSegment(w.store, run, p, w.cfg.Node)
+			data, remote, err := fetchSegment(w.ctx, w.store, run, p, w.cfg.Node)
 			if err != nil {
 				lost = true
 				break
@@ -350,6 +430,8 @@ func (w *Worker) runReduce(a mrpc.Assignment, rt *taskRuntime, req *mrpc.Complet
 			req.LostMaps = append(req.LostMaps, mo.Task)
 		}
 	}
+	fetchSpan.Annotate("%d sources, %d remote bytes", len(srcs), remoteBytes)
+	fetchSpan.End()
 	if len(req.LostMaps) > 0 {
 		return nil, fmt.Errorf("mapreduce: reduce %d: %d map outputs unreachable", p, len(req.LostMaps))
 	}
@@ -423,6 +505,7 @@ func (w *Worker) serveSegment(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer f.Close()
+	w.mSegs.Inc()
 	rw.Header().Set("Content-Length", strconv.FormatInt(length, 10))
 	_, _ = io.Copy(rw, io.NewSectionReader(f, off, length))
 }

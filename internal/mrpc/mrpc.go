@@ -23,6 +23,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Protocol endpoints, rooted under /mr/v1 (control) and /dfsproxy/v1
@@ -80,6 +82,7 @@ type JobSpec struct {
 	NumReducers   int               `json:"num_reducers,omitempty"`
 	Args          map[string]string `json:"args,omitempty"`
 	ShuffleMemory int64             `json:"shuffle_memory,omitempty"` // bytes; <=0 inherits master default
+	Trace         string            `json:"trace,omitempty"`          // trace ID minted at the front door
 }
 
 // RegisterRequest announces a worker to the master.
@@ -198,6 +201,10 @@ type CompleteRequest struct {
 	OutFile  string       `json:"out_file,omitempty"`
 	LostMaps []int        `json:"lost_maps,omitempty"`
 	Counters TaskCounters `json:"counters"`
+	// Spans are the attempt's recorded trace spans (shuffle fetch,
+	// sort, reduce); the master attaches them to the job's trace when
+	// the spec carried a trace ID.
+	Spans []obs.SpanData `json:"spans,omitempty"`
 }
 
 // CompleteReply acknowledges a completion. Accepted=false means the
@@ -226,15 +233,27 @@ func (e *Error) Error() string { return fmt.Sprintf("mrpc: %s: %s", e.Code, e.Ms
 var ErrNotFound = errors.New("mrpc: not found")
 
 // Client issues protocol calls against one peer (a master's control
-// plane or a worker's shuffle server).
+// plane or a worker's shuffle server). Every call takes a context:
+// cancellation and deadlines propagate into the HTTP request, so a
+// hung master or shuffle peer can no longer block a worker forever.
 type Client struct {
 	Base string // http://host:port
 	HC   *http.Client
+	// CallTimeout caps calls whose context carries no deadline of its
+	// own (0 = DefaultCallTimeout). Streaming calls that must outlive
+	// it pass a context with an explicit deadline or use Put.
+	CallTimeout time.Duration
 }
 
-// NewClient dials base with a shared transport.
+// DefaultCallTimeout bounds control-plane calls when the caller's
+// context has no deadline.
+const DefaultCallTimeout = 30 * time.Second
+
+// NewClient dials base with a shared transport. Timeouts are
+// per-call (see CallTimeout), not per-client, so one slow streaming
+// read doesn't dictate the control-plane bound.
 func NewClient(base string) *Client {
-	return &Client{Base: base, HC: &http.Client{Timeout: 30 * time.Second}}
+	return &Client{Base: base, HC: &http.Client{}}
 }
 
 func (c *Client) hc() *http.Client {
@@ -244,18 +263,36 @@ func (c *Client) hc() *http.Client {
 	return http.DefaultClient
 }
 
+// withDeadline applies the default call timeout when ctx has none.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	d := c.CallTimeout
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	return context.WithTimeout(ctx, d)
+}
+
 // Call posts req as JSON to path and decodes the JSON reply into
-// reply. Non-2xx responses decode the Error envelope.
-func (c *Client) Call(path string, req, reply any) error {
+// reply. Non-2xx responses decode the Error envelope. The trace ID
+// carried by ctx (if any) rides the X-LSDF-Trace header.
+func (c *Client) Call(ctx context.Context, path string, req, reply any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	hreq, err := http.NewRequest(http.MethodPost, c.Base+path, bytes.NewReader(body))
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if id := obs.TraceID(ctx); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
 	resp, err := c.hc().Do(hreq)
 	if err != nil {
 		return err
@@ -283,9 +320,19 @@ func decodeError(resp *http.Response) error {
 }
 
 // Get issues a streaming GET (segment fetch, proxy read) and returns
-// the body. The caller must Close it.
-func (c *Client) Get(pathAndQuery string) (io.ReadCloser, error) {
-	resp, err := c.hc().Get(c.Base + pathAndQuery)
+// the body. The caller must Close it. No default deadline is applied
+// — a deadline would kill the stream mid-read — but ctx cancellation
+// (and any deadline the caller chose) propagates, so sizing the
+// timeout to the transfer is the caller's job.
+func (c *Client) Get(ctx context.Context, pathAndQuery string) (io.ReadCloser, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+pathAndQuery, nil)
+	if err != nil {
+		return nil, err
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
+	}
+	resp, err := c.hc().Do(hreq)
 	if err != nil {
 		return nil, err
 	}
@@ -296,11 +343,16 @@ func (c *Client) Get(pathAndQuery string) (io.ReadCloser, error) {
 	return resp.Body, nil
 }
 
-// Put streams body to pathAndQuery (proxy create).
-func (c *Client) Put(pathAndQuery string, body io.Reader) error {
-	hreq, err := http.NewRequest(http.MethodPut, c.Base+pathAndQuery, body)
+// Put streams body to pathAndQuery (proxy create). Like Get, no
+// default deadline — uploads run as long as the data does — but
+// cancellation propagates.
+func (c *Client) Put(ctx context.Context, pathAndQuery string, body io.Reader) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPut, c.Base+pathAndQuery, body)
 	if err != nil {
 		return err
+	}
+	if id := obs.TraceID(ctx); id != "" {
+		hreq.Header.Set(obs.TraceHeader, id)
 	}
 	resp, err := c.hc().Do(hreq)
 	if err != nil {

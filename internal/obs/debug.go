@@ -1,0 +1,28 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler mounts the standard operator surface for a debug
+// listener: net/http/pprof under /debug/pprof/, the registry's
+// Prometheus exposition at /metrics, and — when tr is non-nil — the
+// trace ring at /v1/debug/traces. lsdfd and lsdf-worker serve this on
+// their -debug-addr; it must never be exposed on a tenant-facing
+// address (no auth).
+func DebugHandler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if tr != nil {
+		mux.Handle("/v1/debug/traces", tr.Handler())
+	}
+	return mux
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers int64 nanoseconds: bucket i counts observations
+// v with bits.Len64(v) == i, i.e. upper bound 2^i - 1 ns. Bucket 0
+// holds v <= 0, bucket 63 holds everything above ~146 years.
+const numBuckets = 64
+
+// Histogram is a log-bucketed (powers of two) latency histogram.
+// Observe is ~3 atomic adds and a bits.Len64 — cheap enough for hot
+// paths at microsecond scale. Values are nanoseconds by convention
+// (the *_ns naming scheme), but any non-negative int64 works.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := bits.Len64(uint64(max64(v, 0)))
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveSince records the elapsed time since start, in nanoseconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(int64(time.Since(start)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// HistSnapshot is a consistent-enough view of a histogram: counts
+// are loaded bucket by bucket, so a concurrent Observe may appear in
+// Count but not yet a bucket (or vice versa); quantiles clamp.
+type HistSnapshot struct {
+	Count   int64             `json:"count"`
+	Sum     int64             `json:"sum_ns"`
+	Buckets [numBuckets]int64 `json:"-"`
+}
+
+// Snapshot loads the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(1)<<62 - 1 + int64(1)<<62 // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1)
+// from the bucket counts, interpolating linearly inside the target
+// bucket. Returns 0 for an empty histogram.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	var total int64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketUpper(i-1) + 1
+			}
+			hi := bucketUpper(i)
+			frac := (rank - float64(prev)) / float64(c)
+			return lo + int64(frac*float64(hi-lo))
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// P50, P90, P99 are the quantile snapshots the debug surfaces show.
+func (s HistSnapshot) P50() int64 { return s.Quantile(0.50) }
+func (s HistSnapshot) P90() int64 { return s.Quantile(0.90) }
+func (s HistSnapshot) P99() int64 { return s.Quantile(0.99) }
+
+// Mean returns the average observed value, 0 if empty.
+func (s HistSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}

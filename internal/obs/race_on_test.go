@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled reports whether the race detector is instrumenting
+// this build; timing gates skip, since instrumented atomics run ~10×
+// slower and would trip the pinned bounds spuriously.
+const raceEnabled = true

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+// RegisterRuntimeMetrics adds goroutine/heap/GC gauges for a
+// process's debug listener. Sampled at scrape time; ReadMemStats
+// briefly stops the world, which is fine at scrape frequency.
+func (r *Registry) RegisterRuntimeMetrics() {
+	r.GaugeFunc("lsdf_go_goroutines", "Number of live goroutines.", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("lsdf_go_heap_bytes", "Bytes of allocated heap objects.", func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.HeapAlloc)
+	})
+	r.CounterFunc("lsdf_go_gc_total", "Completed GC cycles.", func() int64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return int64(m.NumGC)
+	})
+}

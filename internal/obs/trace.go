@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the trace ID across HTTP hops: set by clients
+// to adopt a trace, echoed by the gateway so callers can fetch the
+// recorded breakdown from /v1/debug/traces.
+const TraceHeader = "X-LSDF-Trace"
+
+// maxSpans bounds the per-trace span list; a runaway fan-out drops
+// spans (counted in Dropped) instead of growing without bound.
+const maxSpans = 512
+
+// SpanData is one finished (or still-open, DurNs == 0 and End unset)
+// span. It doubles as the wire type: workers ship task-attempt spans
+// to the master inside CompleteRequest.
+type SpanData struct {
+	Name   string `json:"name"`
+	Start  int64  `json:"start_unix_ns"`
+	DurNs  int64  `json:"dur_ns"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// TraceData is the recorded form of one trace: a flat span list
+// under a root. Flat (not a tree) keeps the wire and ring simple;
+// span names encode the layer (gateway.auth, cache.fill, mr.reduce).
+type TraceData struct {
+	ID      string     `json:"id"`
+	Root    string     `json:"root"`
+	Start   time.Time  `json:"start"`
+	Spans   []SpanData `json:"spans"`
+	Dropped int        `json:"dropped,omitempty"`
+
+	mu   sync.Mutex
+	open int32 // spans started but not ended
+}
+
+// add records a finished span. Safe for concurrent use.
+func (t *TraceData) add(s SpanData) {
+	t.mu.Lock()
+	if len(t.Spans) < maxSpans {
+		t.Spans = append(t.Spans, s)
+	} else {
+		t.Dropped++
+	}
+	t.mu.Unlock()
+}
+
+// AddSpans appends externally recorded spans (worker task attempts
+// arriving via the completion RPC).
+func (t *TraceData) AddSpans(spans []SpanData) {
+	t.mu.Lock()
+	for _, s := range spans {
+		if len(t.Spans) < maxSpans {
+			t.Spans = append(t.Spans, s)
+		} else {
+			t.Dropped++
+		}
+	}
+	t.mu.Unlock()
+}
+
+// TakeSpans returns a copy of the recorded spans — how a worker
+// ships a detached attempt trace home in the completion RPC.
+// Nil-safe: an untraced attempt yields nil.
+func (t *TraceData) TakeSpans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanData, len(t.Spans))
+	copy(out, t.Spans)
+	t.mu.Unlock()
+	return out
+}
+
+// snapshot copies the span list for serving.
+func (t *TraceData) snapshot() TraceView {
+	t.mu.Lock()
+	spans := make([]SpanData, len(t.Spans))
+	copy(spans, t.Spans)
+	dropped := t.Dropped
+	open := t.open
+	t.mu.Unlock()
+	return TraceView{ID: t.ID, Root: t.Root, Start: t.Start, Spans: spans, Dropped: dropped, OpenSpans: int(open)}
+}
+
+// TraceView is the JSON shape served at /v1/debug/traces.
+type TraceView struct {
+	ID        string     `json:"id"`
+	Root      string     `json:"root"`
+	Start     time.Time  `json:"start"`
+	Spans     []SpanData `json:"spans"`
+	Dropped   int        `json:"dropped,omitempty"`
+	OpenSpans int        `json:"open_spans,omitempty"`
+}
+
+// Span is a live, in-progress span. A nil *Span is valid and inert,
+// so instrumented code never branches on "is tracing on".
+type Span struct {
+	trace  *TraceData
+	name   string
+	start  time.Time
+	detail string
+	done   atomic.Bool
+}
+
+// End finishes the span, recording its duration into the trace.
+// Safe to call on nil and idempotent.
+func (s *Span) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	s.trace.add(SpanData{
+		Name:   s.name,
+		Start:  s.start.UnixNano(),
+		DurNs:  int64(time.Since(s.start)),
+		Detail: s.detail,
+	})
+	s.trace.mu.Lock()
+	s.trace.open--
+	s.trace.mu.Unlock()
+}
+
+// Annotate attaches a short detail string (site name, byte count)
+// shown in the trace view. Last call wins; nil-safe.
+func (s *Span) Annotate(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.detail = fmt.Sprintf(format, args...)
+}
+
+type ctxKey struct{}
+
+// ContextWithTrace returns ctx carrying the trace, so StartSpan
+// calls downstream record into it.
+func ContextWithTrace(ctx context.Context, t *TraceData) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+func traceFrom(ctx context.Context) *TraceData {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(ctxKey{}).(*TraceData)
+	return t
+}
+
+// TraceID returns the trace ID carried by ctx, or "" if untraced.
+// Used to stamp outgoing RPCs (X-LSDF-Trace, JobSpec.Trace).
+func TraceID(ctx context.Context) string {
+	if t := traceFrom(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}
+
+// StartSpan opens a named span on the trace carried by ctx. When ctx
+// carries no trace it returns nil, which every Span method accepts —
+// the untraced hot path pays one context lookup.
+func StartSpan(ctx context.Context, name string) *Span {
+	t := traceFrom(ctx)
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(name)
+}
+
+func (t *TraceData) startSpan(name string) *Span {
+	t.mu.Lock()
+	t.open++
+	t.mu.Unlock()
+	return &Span{trace: t, name: name, start: time.Now()}
+}
+
+// StartSpanOn opens a span directly on a TraceData — used by workers
+// that build a detached trace for one task attempt and ship its
+// spans home in the completion RPC.
+func StartSpanOn(t *TraceData, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.startSpan(name)
+}
+
+// id generation: a process-random prefix plus an atomic sequence
+// keeps IDs unique across the fleet without coordination.
+var (
+	idPrefix = fmt.Sprintf("%08x", rand.Uint32())
+	idSeq    atomic.Int64
+)
+
+// NewTraceID mints a fresh globally-unlikely-to-collide trace ID.
+func NewTraceID() string {
+	return fmt.Sprintf("%s-%06x", idPrefix, idSeq.Add(1))
+}

@@ -22,6 +22,7 @@ package readcache
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -35,6 +36,7 @@ import (
 
 	"repro/internal/adal"
 	"repro/internal/metadata"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -73,6 +75,10 @@ type Config struct {
 	// (e.g. "/sites"); event paths are trimmed by it to recover
 	// backend-relative cache keys.
 	MountPrefix string
+	// Obs, when set, receives the cache's fill-latency histogram.
+	// Hit/miss/fill counters are sampled from Stats() at exposition
+	// time instead, so the cached-hit path carries zero new cost.
+	Obs *obs.Registry
 }
 
 // checksumReporter is implemented by backends that can report an
@@ -125,6 +131,11 @@ type Cache struct {
 	invalidations atomic.Uint64
 	fillErrors    atomic.Uint64
 	negHits       atomic.Uint64
+
+	// fillHist times miss fills (nil without Config.Obs; Observe on a
+	// nil histogram is a no-op). Fills are WAN-scale, so the
+	// histogram's cost disappears into the stream time.
+	fillHist *obs.Histogram
 }
 
 var _ adal.Backend = (*Cache)(nil)
@@ -144,6 +155,10 @@ func New(inner adal.Backend, cfg Config) *Cache {
 		cfg.NegEntries = 1024
 	}
 	c := &Cache{inner: inner, cfg: cfg, ops: make(map[string]*fillOp)}
+	if cfg.Obs != nil {
+		c.fillHist = cfg.Obs.Histogram("lsdf_cache_fill_ns",
+			"Miss fill duration: inner (often WAN) read, hash, tier insert.")
+	}
 	if cfg.NegTTL > 0 {
 		c.neg = make(map[string]time.Time)
 	}
@@ -296,6 +311,30 @@ func (c *Cache) Remove(path string) error {
 // Open implements adal.Backend: memory hit, coalesce onto an
 // in-flight fill, disk hit (with promotion), or fill/bypass.
 func (c *Cache) Open(path string) (io.ReadCloser, error) {
+	return c.open(context.Background(), path)
+}
+
+// OpenCtx is Open carrying the caller's trace: a cache.open span
+// brackets the lookup, a nested cache.fill span (and the fill
+// histogram) times misses, and the context reaches the inner
+// backend's CtxOpener so federated reads record where WAN time went.
+func (c *Cache) OpenCtx(ctx context.Context, path string) (io.ReadCloser, error) {
+	sp := obs.StartSpan(ctx, "cache.open")
+	r, err := c.open(ctx, path)
+	sp.End()
+	return r, err
+}
+
+// innerOpen routes an inner read through the backend's CtxOpener
+// when it has one, so spans continue below the cache.
+func (c *Cache) innerOpen(ctx context.Context, path string) (io.ReadCloser, error) {
+	if co, ok := c.inner.(adal.CtxOpener); ok {
+		return co.OpenCtx(ctx, path)
+	}
+	return c.inner.Open(path)
+}
+
+func (c *Cache) open(ctx context.Context, path string) (io.ReadCloser, error) {
 	if c.negLookup(path) {
 		return nil, c.negErr(path)
 	}
@@ -339,7 +378,7 @@ func (c *Cache) Open(path string) (io.ReadCloser, error) {
 			// stream straight through. No coalescing — each bypass
 			// reader needs its own stream anyway.
 			c.bypasses.Add(1)
-			r, err := c.inner.Open(path)
+			r, err := c.innerOpen(ctx, path)
 			if err != nil && errors.Is(err, adal.ErrNotFound) {
 				c.negStore(path)
 			}
@@ -356,7 +395,7 @@ func (c *Cache) Open(path string) (io.ReadCloser, error) {
 		c.mu.Unlock()
 		c.misses.Add(1)
 
-		r, err := c.fill(path, size, sum, admitMem, admitDisk, op)
+		r, err := c.fill(ctx, path, size, sum, admitMem, admitDisk, op)
 		c.finishOp(path, op, err)
 		if err != nil {
 			if errors.Is(err, adal.ErrNotFound) {
@@ -424,8 +463,15 @@ func (c *Cache) objectMeta(path string) (sum string, size units.Bytes, ok bool) 
 // possible when a mid-stream failover spliced bytes from a stale
 // replica — keeps the object out of the cache but still serves the
 // leader exactly what a direct read would have returned.
-func (c *Cache) fill(path string, size units.Bytes, sum string, admitMem, admitDisk bool, op *fillOp) (io.ReadCloser, error) {
-	src, err := c.inner.Open(path)
+func (c *Cache) fill(ctx context.Context, path string, size units.Bytes, sum string, admitMem, admitDisk bool, op *fillOp) (io.ReadCloser, error) {
+	start := time.Now()
+	sp := obs.StartSpan(ctx, "cache.fill")
+	sp.Annotate("%s (%d bytes)", path, size)
+	defer func() {
+		sp.End()
+		c.fillHist.ObserveSince(start)
+	}()
+	src, err := c.innerOpen(ctx, path)
 	if err != nil {
 		return nil, err
 	}

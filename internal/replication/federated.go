@@ -1,6 +1,7 @@
 package replication
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/adal"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -145,6 +147,19 @@ func (f *FederatedBackend) noteDown(s *Site, path string, tried map[string]bool)
 // already marked down are skipped without a dial attempt — and,
 // being added to tried, are never revisited within this call even
 // when a concurrent noteFailure re-shuffles the candidate set.
+// OpenCtx implements adal.CtxOpener: traced reads get a fed.open
+// span annotated with the replica site that won, so a trace shows
+// whether bytes came from the local site or crossed the WAN.
+func (f *FederatedBackend) OpenCtx(ctx context.Context, path string) (io.ReadCloser, error) {
+	sp := obs.StartSpan(ctx, "fed.open")
+	r, err := f.Open(path)
+	if fr, ok := r.(*failoverReader); ok && err == nil {
+		sp.Annotate("site=%s", fr.site.Name)
+	}
+	sp.End()
+	return r, err
+}
+
 func (f *FederatedBackend) Open(path string) (io.ReadCloser, error) {
 	if !f.catalog.Known(path) {
 		return nil, fmt.Errorf("%w: %s:%s", adal.ErrNotFound, f.name, path)
